@@ -1,0 +1,72 @@
+// Ablation study of Loom's design choices (our addition; DESIGN.md §3):
+//   1. SIP cascading on/off — the few-outputs FCL mechanism.
+//   2. Dynamic per-group activation precision on/off.
+//   3. §4.6 weight timing: the paper's linear-scaling estimate vs honest
+//      max-of-group timing (all rows load weight groups in lock step).
+//   4. Activation bits per cycle (1/2/4) at fixed everything else.
+#include <iostream>
+
+#include "core/loom.hpp"
+
+using namespace loom;
+
+namespace {
+
+double all_layers_speedup(sim::NetworkWorkload& wl, const arch::LoomConfig& cfg,
+                          const sim::RunResult& baseline) {
+  auto sim = sim::make_loom_simulator(cfg, sim::SimOptions{});
+  return sim::speedup_vs(sim->run(wl), baseline, sim::RunResult::Filter::kAll);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const core::Options cli(argc, argv);
+  const auto networks =
+      cli.get_list("networks", {"alexnet", "googlenet", "vgg19"});
+
+  TextTable t("Loom design ablations (all-layers speedup vs DPNN, 100% "
+              "profiles, E=128)");
+  t.set_header({"Network", "LM1b", "no cascading", "no dynamic Pa",
+                "group-Pw est.", "group-Pw honest", "LM2b", "LM4b"});
+
+  for (const auto& name : networks) {
+    auto wl = sim::prepare_network(name, quant::AccuracyTarget::k100);
+    auto dpnn = sim::make_dpnn_simulator(arch::DpnnConfig{}, sim::SimOptions{});
+    const auto base = dpnn->run(*wl);
+
+    arch::LoomConfig def;
+    arch::LoomConfig no_cascade = def;
+    no_cascade.cascading = false;
+    arch::LoomConfig no_dyn = def;
+    no_dyn.dynamic_act_precision = false;
+    arch::LoomConfig grp = def;
+    grp.per_group_weights = true;
+    arch::LoomConfig grp_honest = grp;
+    grp_honest.honest_group_weight_timing = true;
+    arch::LoomConfig lm2 = def;
+    lm2.bits_per_cycle = 2;
+    arch::LoomConfig lm4 = def;
+    lm4.bits_per_cycle = 4;
+
+    t.add_row({name, TextTable::num(all_layers_speedup(*wl, def, base)),
+               TextTable::num(all_layers_speedup(*wl, no_cascade, base)),
+               TextTable::num(all_layers_speedup(*wl, no_dyn, base)),
+               TextTable::num(all_layers_speedup(*wl, grp, base)),
+               TextTable::num(all_layers_speedup(*wl, grp_honest, base)),
+               TextTable::num(all_layers_speedup(*wl, lm2, base)),
+               TextTable::num(all_layers_speedup(*wl, lm4, base))});
+  }
+  std::cout << t.render() << '\n';
+  std::cout
+      << "\nReadings:\n"
+         "  - Cascading matters for networks with ~1K-output classifiers\n"
+         "    (GoogLeNet) and is neutral elsewhere.\n"
+         "  - Dynamic precision supplies the gap between the static-profile\n"
+         "    ideal 256/(Pa*Pw) and the reported speedups.\n"
+         "  - The honest max-of-group weight timing gives back most of the\n"
+         "    Table 4 estimate's gain: per-group weight precisions need\n"
+         "    per-group metadata and independent column control to be real,\n"
+         "    which is exactly why the paper reports them as an estimate.\n";
+  return 0;
+}

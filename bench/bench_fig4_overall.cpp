@@ -1,0 +1,57 @@
+// Figure 4 reproduction: per-network performance (4a) and energy
+// efficiency (4b) of Loom, Stripes and DStripes relative to DPNN, over all
+// layers combined, with the 100% accuracy profiles.
+//
+// Paper reading: LM1b > 3x performance and > 2.5x efficiency on average;
+// LM1b consistently outperforms Stripes and DStripes; LM1b is more energy
+// efficient than DStripes except on GoogLeNet (within 2%).
+#include <iostream>
+
+#include "core/loom.hpp"
+
+using namespace loom;
+
+int main(int argc, char** argv) {
+  const core::Options cli(argc, argv);
+  const auto networks = cli.get_list("networks", nn::zoo::paper_networks());
+
+  core::RunnerOptions opts;
+  opts.include_dstripes = true;
+  core::ExperimentRunner runner(opts);
+  const sim::Comparison cmp = runner.compare(networks);
+  const auto names = runner.roster_names();
+
+  std::cout << core::format_all_layers(
+                   cmp, names,
+                   "Figure 4 reproduction (100% profiles): performance and "
+                   "energy efficiency vs DPNN")
+            << "\n";
+
+  // The figure's qualitative claims, checked from the data.
+  const auto all = sim::RunResult::Filter::kAll;
+  bool lm_beats_stripes = true;
+  bool lm_beats_dstripes_perf = true;
+  for (const auto& e : cmp.entries(all)) {
+    if (e.arch.rfind("LM1b", 0) != 0) continue;
+    for (const auto& o : cmp.entries(all)) {
+      if (o.network != e.network) continue;
+      if (o.arch.rfind("Stripes", 0) == 0) {
+        lm_beats_stripes = lm_beats_stripes && e.perf > o.perf && e.eff > o.eff;
+      }
+      if (o.arch.rfind("DStripes", 0) == 0) {
+        lm_beats_dstripes_perf = lm_beats_dstripes_perf && e.perf > o.perf;
+      }
+    }
+  }
+  std::cout << "\nClaim checks:\n"
+            << "  LM1b outperforms Stripes in perf and efficiency on every "
+               "network: "
+            << (lm_beats_stripes ? "yes" : "NO") << '\n'
+            << "  LM1b outperforms DStripes in performance on every network: "
+            << (lm_beats_dstripes_perf ? "yes" : "NO") << '\n';
+  const auto g1 = cmp.geomeans(names.size() > 2 ? names[2] : names[0], all);
+  std::cout << "  LM1b all-layers geomean perf " << TextTable::num(g1.perf)
+            << "x (paper: 3.19x with §4.3 profiles), eff "
+            << TextTable::num(g1.eff) << "x (paper: 2.59x)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Memory footprint and bandwidth study (§3.2 "Reducing Memory Footprint and
+// Bandwidth", §4.5's AM sizing, and the §4.6 metadata feasibility check).
+// For every network: weight and activation footprints in the baseline
+// 16-bit layout vs Loom's bit-interleaved per-layer packing vs per-group
+// packing with 4-bit metadata; plus the peak activation footprint that
+// drives the 2 MB (DPNN) vs 1 MB (Loom) AM sizing claim.
+#include <iostream>
+
+#include "core/loom.hpp"
+#include "quant/metadata.hpp"
+
+using namespace loom;
+
+int main(int argc, char** argv) {
+  const core::Options cli(argc, argv);
+  const auto networks = cli.get_list("networks", nn::zoo::paper_networks());
+
+  TextTable t("Weight footprint per network (MB)");
+  t.set_header({"Network", "16-bit", "Per-layer packed", "Per-group+meta",
+                "Layer ratio", "Group ratio"});
+  TextTable act("Peak layer activation footprint (input+output, MB)");
+  act.set_header({"Network", "16-bit", "Profile-packed", "Fits 2MB@16b",
+                  "Fits 1MB packed"});
+
+  for (const auto& name : networks) {
+    auto wl = sim::prepare_network(name, quant::AccuracyTarget::k100);
+    const nn::Network& net = wl->network();
+
+    std::int64_t base_bits = 0, layer_bits = 0, group_bits = 0;
+    std::size_t windex = 0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      const nn::Layer& l = net.layer(i);
+      if (!l.has_weights()) continue;
+      ++windex;
+      const auto& table3 =
+          quant::maybe_effective_weight_precisions(name);
+      double target = 0.85 * l.weight_precision;
+      if (table3 != nullptr && l.kind == nn::LayerKind::kConv) {
+        target = (*table3)[static_cast<std::size_t>(l.precision_group)];
+      }
+      const nn::SyntheticSpec spec = quant::calibrated_spec_cached(
+          l.weight_precision, true, 0.0, 16, target);
+      const nn::SyntheticSource src(1, nn::weight_stream(i), spec);
+      // Sample large tensors to keep the bench quick; footprints scale.
+      const std::int64_t count = std::min<std::int64_t>(l.weight_count(), 1 << 21);
+      const auto fp = quant::weight_footprint(src, count, l.weight_precision);
+      const double scale =
+          static_cast<double>(l.weight_count()) / static_cast<double>(count);
+      base_bits += static_cast<std::int64_t>(fp.baseline_bits * scale);
+      layer_bits += static_cast<std::int64_t>(fp.per_layer_bits * scale);
+      group_bits += static_cast<std::int64_t>(fp.per_group_bits * scale);
+    }
+    const double mb = 8.0 * 1024 * 1024;
+    t.add_row({name, TextTable::num(base_bits / mb, 1),
+               TextTable::num(layer_bits / mb, 1),
+               TextTable::num(group_bits / mb, 1),
+               TextTable::num(static_cast<double>(base_bits) / layer_bits),
+               TextTable::num(static_cast<double>(base_bits) / group_bits)});
+
+    // Activation footprints.
+    std::int64_t peak16 = 0, peak_packed = 0;
+    for (const nn::Layer& l : net.layers()) {
+      if (!l.has_weights()) continue;
+      const int pa = l.kind == nn::LayerKind::kConv ? l.act_precision : 16;
+      peak16 = std::max(peak16, (l.in.elements() + l.out.elements()) * 16);
+      peak_packed =
+          std::max(peak_packed, l.in.elements() * pa + l.out.elements() * 16);
+    }
+    act.add_row({name, TextTable::num(peak16 / mb, 2),
+                 TextTable::num(peak_packed / mb, 2),
+                 peak16 <= 2 * 8 << 20 ? "yes" : "no (spills)",
+                 peak_packed <= 8 << 20 ? "yes" : "no (spills)"});
+  }
+  std::cout << t.render() << '\n' << act.render() << '\n';
+  std::cout << "\nPaper claims covered: Loom stores data using only as many "
+               "bits as the profile requires (~1.3-1.5x weight compression), "
+               "so 1 MB of AM suffices where DPNN needs 2 MB; VGG19 spills "
+               "either way (§4.5). Per-group packing buys a further ~15-30% "
+               "for 4 bits/group of metadata (§4.6).\n";
+  return 0;
+}

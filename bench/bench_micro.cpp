@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark): throughput of the hot components —
+// the functional SIP, the grid tile, precision detection, serialization and
+// the cycle-accurate layer models themselves.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/loom.hpp"
+
+using namespace loom;
+
+namespace {
+
+std::vector<Value> values(int n, int bits, bool is_signed, std::uint64_t seed) {
+  nn::SyntheticSpec spec{.precision = bits, .alpha = 1.5, .is_signed = is_signed};
+  const nn::SyntheticSource src(seed, 0, spec);
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = src.at(static_cast<std::uint64_t>(i));
+  return out;
+}
+
+void BM_SipInnerProduct(benchmark::State& state) {
+  const int pa = static_cast<int>(state.range(0));
+  const int pw = static_cast<int>(state.range(1));
+  arch::Sip sip(arch::SipConfig{});
+  const auto a = values(16, pa, false, 1);
+  const auto w = values(16, pw, true, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::sip_inner_product(sip, a, w, pa, pw));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SipInnerProduct)->Args({8, 11})->Args({16, 16})->Args({4, 4});
+
+void BM_TileConvBlock(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  arch::SipTile tile(arch::TileConfig{.rows = rows, .cols = 16, .lanes = 16});
+  std::vector<std::vector<Value>> acts(16), weights(static_cast<std::size_t>(rows));
+  for (std::size_t i = 0; i < acts.size(); ++i) acts[i] = values(64, 8, false, i);
+  for (std::size_t i = 0; i < weights.size(); ++i) weights[i] = values(64, 8, true, 100 + i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile.conv_block(acts, weights, 8, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 16 * 64);
+}
+BENCHMARK(BM_TileConvBlock)->Arg(4)->Arg(16);
+
+void BM_PrecisionDetect(benchmark::State& state) {
+  arch::DynamicPrecisionUnit unit;
+  const auto group = values(256, 9, false, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.detect(group));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PrecisionDetect);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const auto vals = values(2048, 11, true, 9);
+  for (auto _ : state) {
+    const auto planes = arch::serialize(vals, 11);
+    benchmark::DoNotOptimize(arch::deserialize(planes, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_LoomLayerSimulation(benchmark::State& state) {
+  // One mid-size conv layer through the full cycle model (static mode so
+  // the measurement excludes one-time calibration).
+  nn::Network net("bench", nn::Shape3{64, 28, 28});
+  net.add_conv("c", 128, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "bench";
+  p.conv_act = {9};
+  p.conv_weight = 11;
+  quant::apply_profile(net, p);
+  sim::NetworkWorkload wl(std::move(net), p);
+  arch::LoomConfig cfg;
+  cfg.dynamic_act_precision = false;
+  auto sim = sim::make_loom_simulator(cfg, sim::SimOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->run(wl));
+  }
+}
+BENCHMARK(BM_LoomLayerSimulation);
+
+void BM_WorkloadGroupPrecision(benchmark::State& state) {
+  nn::Network net("bench", nn::Shape3{64, 28, 28});
+  net.add_conv("c", 128, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "bench";
+  p.conv_act = {9};
+  p.conv_weight = 11;
+  p.dynamic_act_trim = 1.5;
+  quant::apply_profile(net, p);
+  const std::int64_t wb_count = ceil_div(net.layer(0).windows(), 16);
+  sim::NetworkWorkload wl(std::move(net), p);
+  sim::LayerWorkload& lw = wl.layer(0);
+  (void)lw.act_group_precision(0, 0, 0, 16);  // pay calibration once
+  std::int64_t wb = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lw.act_group_precision(0, wb, 0, 16));
+    wb = (wb + 1) % wb_count;
+  }
+}
+BENCHMARK(BM_WorkloadGroupPrecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

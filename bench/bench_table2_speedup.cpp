@@ -1,0 +1,40 @@
+// Table 2 reproduction: relative execution-time speedup and energy
+// efficiency of Stripes and the Loom variants vs the DPNN baseline, for
+// fully-connected and convolutional layers separately, under both the 100%
+// and the 99% top-1 accuracy profiles.
+//
+// Paper geomeans for reference (100% / 99%):
+//   FCL  Stripes 1.00/1.00  LM1b 1.74/1.85  LM2b 1.75/1.85  LM4b 1.75/1.86
+//   CVL  Stripes 1.84/1.99  LM1b 3.25/3.63  LM2b 3.10/3.45  LM4b 2.78/3.11
+#include <iostream>
+
+#include "core/loom.hpp"
+
+using namespace loom;
+
+int main(int argc, char** argv) {
+  const core::Options cli(argc, argv);
+  const auto networks = cli.get_list("networks", nn::zoo::paper_networks());
+
+  for (const auto target :
+       {quant::AccuracyTarget::k100, quant::AccuracyTarget::k99}) {
+    core::RunnerOptions opts;
+    opts.equiv_macs = static_cast<int>(cli.get_int("equiv", 128));
+    opts.target = target;
+    core::ExperimentRunner runner(opts);
+    const sim::Comparison cmp = runner.compare(networks);
+    std::cout << core::format_table2(
+                     cmp, runner.roster_names(),
+                     "Table 2 reproduction, " + quant::to_string(target) +
+                         " TOP-1 accuracy profiles")
+              << "\n\n";
+  }
+
+  std::cout << "Paper geomeans (100%): CVL Stripes 1.84/1.61, LM1b 3.25/2.63, "
+               "LM2b 3.10/2.92, LM4b 2.78/2.92; FCL Stripes 1.00/0.88, "
+               "LM1b 1.74/1.41, LM2b 1.75/1.65, LM4b 1.75/1.84\n";
+  std::cout << "Paper geomeans (99%):  CVL Stripes 1.99/1.74, LM1b 3.63/2.93, "
+               "LM2b 3.45/3.25, LM4b 3.11/3.26; FCL Stripes 1.00/0.88, "
+               "LM1b 1.85/1.49, LM2b 1.85/1.75, LM4b 1.86/1.95\n";
+  return 0;
+}

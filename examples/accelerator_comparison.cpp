@@ -1,0 +1,56 @@
+// Compare every architecture on a chosen network and emit both a table and
+// machine-readable CSV — the workflow a deployment study would use to pick
+// an accelerator for an embedded SoC.
+//
+//   ./accelerator_comparison [--network=googlenet] [--equiv=128] [--offchip]
+//                            [--csv]
+#include <iostream>
+
+#include "core/loom.hpp"
+
+using namespace loom;
+
+int main(int argc, char** argv) {
+  const core::Options cli(argc, argv);
+  const std::string network = cli.get("network", "googlenet");
+
+  core::RunnerOptions opts;
+  opts.equiv_macs = static_cast<int>(cli.get_int("equiv", 128));
+  opts.include_dstripes = true;
+  opts.model_offchip = cli.get_bool("offchip", false);
+  core::ExperimentRunner runner(opts);
+
+  const sim::Comparison cmp = runner.compare({network});
+  const auto names = runner.roster_names();
+
+  if (cli.get_bool("csv", false)) {
+    CsvWriter csv(std::cout);
+    csv.write_row({"arch", "filter", "perf_vs_dpnn", "eff_vs_dpnn", "cycles",
+                   "fps", "core_mm2"});
+    for (const auto f : {sim::RunResult::Filter::kAll,
+                         sim::RunResult::Filter::kConv,
+                         sim::RunResult::Filter::kFc}) {
+      const char* fname = f == sim::RunResult::Filter::kAll    ? "all"
+                          : f == sim::RunResult::Filter::kConv ? "conv"
+                                                                : "fc";
+      for (const auto& e : cmp.entries(f)) {
+        csv.write_row({e.arch, fname, TextTable::num(e.perf, 4),
+                       TextTable::num(e.eff, 4),
+                       std::to_string(e.result.cycles(f)),
+                       TextTable::num(e.result.fps(), 2),
+                       TextTable::num(e.result.area.core_mm2(), 3)});
+      }
+    }
+    return 0;
+  }
+
+  std::cout << core::format_table2(cmp, names, "Comparison on " + network)
+            << '\n';
+  std::cout << core::format_all_layers(cmp, names, "Comparison on " + network)
+            << '\n';
+
+  std::cout << "\nDecision guide: LM1b maximizes speed; LM2b/LM4b trade a "
+               "little speed for lower area and energy; Stripes helps only "
+               "convolutional layers.\n";
+  return 0;
+}

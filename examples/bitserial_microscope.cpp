@@ -1,0 +1,98 @@
+// A microscope on the bit-serial datapath: run a real (tiny) convolution
+// through the functional SIP grid cycle-by-cycle, compare against the
+// bit-parallel golden model, and show how cycles scale with the operand
+// precisions — Section 2 of the paper, executed.
+//
+//   ./bitserial_microscope
+#include <iostream>
+#include <vector>
+
+#include "core/loom.hpp"
+
+using namespace loom;
+
+int main() {
+  // A 4x8x8 input, eight 3x3 filters — small enough to watch.
+  const nn::Layer layer = nn::make_conv("demo", nn::Shape3{4, 8, 8}, 8, 3, 1, 1);
+  nn::SyntheticSpec act_spec{.precision = 7, .alpha = 2.0, .is_signed = false};
+  nn::SyntheticSpec w_spec{.precision = 6, .alpha = 2.0, .is_signed = true};
+  const nn::Tensor input = nn::make_activation_tensor(layer.in, act_spec, 1, 1);
+  const nn::Tensor weights = nn::make_weight_tensor(layer.weight_count(), w_spec, 2, 2);
+
+  // Golden result from the bit-parallel reference.
+  const nn::WideTensor golden = nn::conv_forward(input, weights, layer);
+
+  // Drive the SIP grid: rows = 8 filters, cols = 16 windows at a time.
+  arch::SipTile tile(arch::TileConfig{.rows = 8, .cols = 16, .lanes = 16});
+  const auto inner = layer.inner_length();
+  std::vector<std::vector<Value>> weights_by_row(8);
+  for (int f = 0; f < 8; ++f) {
+    for (std::int64_t i = 0; i < inner; ++i) {
+      weights_by_row[static_cast<std::size_t>(f)].push_back(
+          weights.flat(f * inner + i));
+    }
+  }
+  auto gather_window = [&](std::int64_t window) {
+    std::vector<Value> vals;
+    const std::int64_t oy = window / layer.out.w;
+    const std::int64_t ox = window % layer.out.w;
+    for (std::int64_t ci = 0; ci < layer.in.c; ++ci) {
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) {
+          const std::int64_t iy = oy + ky - 1;
+          const std::int64_t ix = ox + kx - 1;
+          vals.push_back(iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w
+                             ? Value{0}
+                             : input.at3(ci, iy, ix));
+        }
+      }
+    }
+    return vals;
+  };
+
+  std::uint64_t total_cycles = 0;
+  std::int64_t mismatches = 0;
+  const std::int64_t windows = layer.windows();
+  for (std::int64_t wb = 0; wb < ceil_div(windows, 16); ++wb) {
+    std::vector<std::vector<Value>> acts;
+    for (std::int64_t w = wb * 16; w < std::min<std::int64_t>((wb + 1) * 16, windows); ++w) {
+      acts.push_back(gather_window(w));
+    }
+    const auto block = tile.conv_block(acts, weights_by_row, 7, 6);
+    total_cycles += block.cycles;
+    for (int f = 0; f < 8; ++f) {
+      for (std::size_t c = 0; c < acts.size(); ++c) {
+        const std::int64_t w = wb * 16 + static_cast<std::int64_t>(c);
+        const Wide expect = golden.at3(f, w / layer.out.w, w % layer.out.w);
+        if (block.outputs[static_cast<std::size_t>(f) * 16 + c] != expect) {
+          ++mismatches;
+        }
+      }
+    }
+  }
+
+  std::cout << "Bit-serial SIP grid vs bit-parallel golden model\n"
+            << "  outputs checked:  " << layer.out.elements() << '\n'
+            << "  mismatches:       " << mismatches
+            << (mismatches == 0 ? "  (exact)" : "  (BUG)") << '\n'
+            << "  tile cycles:      " << total_cycles << " at Pa=7, Pw=6\n";
+
+  // The headline law: cycles scale with Pa x Pw.
+  TextTable t("Cycles for one 16-window block vs operand precisions");
+  t.set_header({"Pa", "Pw", "cycles", "vs 16x16"});
+  const auto acts0 = [&] {
+    std::vector<std::vector<Value>> a;
+    for (std::int64_t w = 0; w < 16; ++w) a.push_back(gather_window(w));
+    return a;
+  }();
+  const auto full = tile.conv_block(acts0, weights_by_row, 16, 16).cycles;
+  for (const auto& [pa, pw] : {std::pair{16, 16}, {8, 8}, {7, 6}, {4, 4}, {2, 2}}) {
+    const auto cycles = tile.conv_block(acts0, weights_by_row, pa, pw).cycles;
+    t.add_row({std::to_string(pa), std::to_string(pw), std::to_string(cycles),
+               TextTable::num(static_cast<double>(full) / static_cast<double>(cycles), 1) + "x"});
+  }
+  std::cout << '\n' << t.render();
+  std::cout << "\nEvery bit of precision saved is a proportional cycle saved "
+               "— the paper's core idea, live.\n";
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Quickstart: simulate AlexNet on Loom and the DPNN baseline, print the
+// speedup, energy efficiency and a per-layer breakdown.
+//
+//   ./quickstart [--network=alexnet] [--bits=1] [--target=100]
+#include <iostream>
+
+#include "core/loom.hpp"
+
+using namespace loom;
+
+int main(int argc, char** argv) {
+  const core::Options cli(argc, argv);
+  const std::string network = cli.get("network", "alexnet");
+  const int bits = static_cast<int>(cli.get_int("bits", 1));
+  const auto target = cli.get_int("target", 100) == 99
+                          ? quant::AccuracyTarget::k99
+                          : quant::AccuracyTarget::k100;
+
+  std::cout << "Loom quickstart: " << network << ", LM" << bits
+            << "b vs DPNN, " << quant::to_string(target) << " profiles\n\n";
+
+  // 1. Build the profiled network and its synthetic workload.
+  auto workload = sim::prepare_network(network, target);
+
+  // 2. Simulate the baseline and Loom.
+  auto dpnn = sim::make_dpnn_simulator(arch::DpnnConfig{});
+  arch::LoomConfig lm_cfg;
+  lm_cfg.bits_per_cycle = bits;
+  auto lm = sim::make_loom_simulator(lm_cfg);
+
+  const sim::RunResult base = dpnn->run(*workload);
+  const sim::RunResult run = lm->run(*workload);
+
+  // 3. Report.
+  std::cout << core::format_layer_breakdown(run) << '\n';
+  using F = sim::RunResult::Filter;
+  std::cout << "Speedup vs DPNN:      all "
+            << TextTable::num(sim::speedup_vs(run, base, F::kAll)) << "x, conv "
+            << TextTable::num(sim::speedup_vs(run, base, F::kConv)) << "x";
+  if (base.cycles(F::kFc) > 0) {
+    std::cout << ", fc " << TextTable::num(sim::speedup_vs(run, base, F::kFc))
+              << "x";
+  }
+  std::cout << "\nEnergy efficiency:    all "
+            << TextTable::num(sim::efficiency_vs(run, base, F::kAll)) << "x\n";
+  std::cout << "Throughput at 1 GHz:  " << TextTable::num(run.fps(), 1)
+            << " fps (DPNN " << TextTable::num(base.fps(), 1) << " fps)\n";
+  std::cout << "Core area:            " << TextTable::num(run.area.core_mm2())
+            << " mm2 (DPNN " << TextTable::num(base.area.core_mm2())
+            << " mm2)\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "arch/config.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace loom::arch {
+
+void DpnnConfig::validate() const {
+  if (act_lanes <= 0 || equiv_macs <= 0 || equiv_macs % act_lanes != 0) {
+    throw ConfigError("DpnnConfig: equiv_macs must be a positive multiple of act_lanes");
+  }
+}
+
+std::string DpnnConfig::to_string() const {
+  std::ostringstream out;
+  out << "DPNN(E=" << equiv_macs << ", " << act_lanes << " lanes x "
+      << filters() << " filters)";
+  return out.str();
+}
+
+void LoomConfig::validate() const {
+  if (bits_per_cycle != 1 && bits_per_cycle != 2 && bits_per_cycle != 4) {
+    throw ConfigError("LoomConfig: bits_per_cycle must be 1, 2 or 4");
+  }
+  if (lanes <= 0 || equiv_macs <= 0) {
+    throw ConfigError("LoomConfig: lanes and equiv_macs must be positive");
+  }
+  if (kBasePrecision % bits_per_cycle != 0) {
+    throw ConfigError("LoomConfig: bits_per_cycle must divide the base precision");
+  }
+}
+
+std::string LoomConfig::name() const {
+  return "LM" + std::to_string(bits_per_cycle) + "b";
+}
+
+std::string LoomConfig::to_string() const {
+  std::ostringstream out;
+  out << name() << "(E=" << equiv_macs << ", " << rows() << "x" << cols()
+      << " SIPs, " << lanes << " lanes"
+      << (dynamic_act_precision ? ", dynamic-Pa" : "")
+      << (per_group_weights ? ", group-Pw" : "") << ")";
+  return out.str();
+}
+
+void StripesConfig::validate() const {
+  if (lanes <= 0 || windows <= 0 || equiv_macs <= 0 || equiv_macs % lanes != 0) {
+    throw ConfigError("StripesConfig: equiv_macs must be a positive multiple of lanes");
+  }
+}
+
+std::string StripesConfig::name() const {
+  return dynamic_act_precision ? "DStripes" : "Stripes";
+}
+
+std::string StripesConfig::to_string() const {
+  std::ostringstream out;
+  out << name() << "(E=" << equiv_macs << ", " << windows << " windows x "
+      << filters() << " filters)";
+  return out.str();
+}
+
+}  // namespace loom::arch

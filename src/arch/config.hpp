@@ -1,0 +1,86 @@
+// Architecture configurations for the three accelerator families. All are
+// parameterized by the *equivalent peak compute bandwidth* E: the number of
+// 16b x 16b multiply-accumulates per cycle of the matched bit-parallel
+// design (the x-axis of the paper's Figure 5; E = 128 in the main
+// configuration).
+#pragma once
+
+#include <string>
+
+#include "common/bitops.hpp"
+
+namespace loom::arch {
+
+/// Common clock: all designs run at 1 GHz (paper §4.1).
+inline constexpr double kClockGhz = 1.0;
+
+/// DPNN: DaDianNao-style bit-parallel baseline. Per cycle it consumes
+/// `act_lanes` activations broadcast to `filters()` inner-product units.
+struct DpnnConfig {
+  int equiv_macs = 128;
+  int act_lanes = 16;
+
+  [[nodiscard]] int filters() const noexcept { return equiv_macs / act_lanes; }
+  [[nodiscard]] std::string to_string() const;
+  void validate() const;
+};
+
+/// Loom: a grid of rows() x cols() SIPs, each multiplying `lanes` 1-bit
+/// activations by `lanes` 1-bit weights per cycle. rows = concurrent
+/// filters, cols = concurrent windows (CVLs) / staggered weight columns
+/// (FCLs). The LM2b/LM4b variants process 2/4 activation bits per cycle
+/// with 8/4 columns (paper §3.2 "Tuning the Performance, Area and Energy
+/// Trade-off").
+struct LoomConfig {
+  int equiv_macs = 128;
+  int bits_per_cycle = 1;  ///< 1 (LM1b), 2 (LM2b) or 4 (LM4b)
+  int lanes = 16;          ///< products per SIP per cycle
+
+  bool dynamic_act_precision = true;  ///< runtime per-group trimming [5]
+  bool per_group_weights = false;     ///< §4.6 per-group weight precisions [10]
+  bool cascading = true;              ///< SIP daisy-chaining for small layers
+
+  /// Ablation: when per_group_weights is on, the paper *estimates*
+  /// performance assuming it scales linearly with the mean effective weight
+  /// precision. The honest mode instead charges the max precision over the
+  /// group of weights loaded together.
+  bool honest_group_weight_timing = false;
+
+  /// §6 future-work extension: skip weight bit-planes in which no weight of
+  /// the group has a one (sign-magnitude serialization). Like Table 4 this
+  /// is a linear-scaling estimate from the measured mean count of essential
+  /// planes per 16-weight group (see LayerWorkload::essential_weight_planes).
+  bool sparse_weight_skipping = false;
+
+  [[nodiscard]] int rows() const noexcept { return equiv_macs; }
+  [[nodiscard]] int cols() const noexcept { return kBasePrecision / bits_per_cycle; }
+  [[nodiscard]] int sips() const noexcept { return rows() * cols(); }
+  /// Activations processed concurrently = dynamic-detection group size
+  /// (256 for LM1b at E=128, matching the paper).
+  [[nodiscard]] int act_group() const noexcept { return lanes * cols(); }
+  /// Weight-precision detection group (16 weights; Lascorz et al. [10]).
+  [[nodiscard]] int weight_group() const noexcept { return lanes; }
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] std::string to_string() const;
+  void validate() const;
+};
+
+/// Stripes: bit-serial activations, bit-parallel weights; 16 concurrent
+/// windows per filter, so its filter parallelism matches DPNN's and its
+/// relative performance is insensitive to E (Figure 5). DStripes adds the
+/// dynamic precision detector.
+struct StripesConfig {
+  int equiv_macs = 128;
+  int windows = 16;
+  int lanes = 16;
+  bool dynamic_act_precision = false;  ///< true = DStripes
+
+  [[nodiscard]] int filters() const noexcept { return equiv_macs / lanes; }
+  [[nodiscard]] int act_group() const noexcept { return lanes * windows; }
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] std::string to_string() const;
+  void validate() const;
+};
+
+}  // namespace loom::arch

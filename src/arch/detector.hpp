@@ -1,0 +1,38 @@
+// Hardware model of the dynamic precision detection unit (§3.2 "Dynamic
+// Precision Reduction"): per-bit-position OR trees over the group of
+// concurrently processed activations produce a 16-bit usage vector; a
+// leading-one detector reports the sufficient precision. This component
+// operates on the same bit-plane layout the Activation Memory stores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arch/serializer.hpp"
+#include "common/bitops.hpp"
+
+namespace loom::arch {
+
+class DynamicPrecisionUnit {
+ public:
+  /// Detect the needed precision of a group of unsigned activations given
+  /// in value form. Returns at least 1 (a zero group still costs a cycle).
+  [[nodiscard]] int detect(std::span<const Value> group) noexcept;
+
+  /// Detect from bit-planes: OR each plane's words, then find the highest
+  /// non-empty plane — exactly what the OR-tree hardware computes.
+  [[nodiscard]] int detect_planes(const BitPlanes& planes) noexcept;
+
+  [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+  [[nodiscard]] std::uint64_t values_inspected() const noexcept { return values_; }
+  void reset() noexcept {
+    invocations_ = 0;
+    values_ = 0;
+  }
+
+ private:
+  std::uint64_t invocations_ = 0;
+  std::uint64_t values_ = 0;
+};
+
+}  // namespace loom::arch

@@ -1,0 +1,87 @@
+#include "arch/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace loom::arch {
+
+Dispatcher::Dispatcher(int lanes) : lanes_(lanes) {
+  LOOM_EXPECTS(lanes >= 1 && lanes <= 32);
+}
+
+void Dispatcher::reset() noexcept {
+  detector_.reset();
+  act_bits_ = 0;
+  weight_bits_ = 0;
+}
+
+ActivationStream Dispatcher::stream_activations(
+    const std::vector<std::vector<Value>>& columns, int profile_precision,
+    bool dynamic) {
+  LOOM_EXPECTS(profile_precision >= 1 && profile_precision <= kBasePrecision);
+  ActivationStream out;
+  out.columns = static_cast<int>(columns.size());
+
+  int precision = profile_precision;
+  if (dynamic) {
+    // The detector sees the whole fetch group across columns.
+    std::vector<Value> group;
+    for (const auto& col : columns) {
+      group.insert(group.end(), col.begin(), col.end());
+    }
+    precision = std::min(detector_.detect(group), profile_precision);
+  }
+  out.precision = precision;
+
+  out.bits.assign(static_cast<std::size_t>(precision) *
+                      static_cast<std::size_t>(out.columns),
+                  0);
+  for (int step = 0; step < precision; ++step) {
+    const int bit = precision - 1 - step;  // MSB first
+    for (int col = 0; col < out.columns; ++col) {
+      const auto& values = columns[static_cast<std::size_t>(col)];
+      std::uint32_t packed = 0;
+      const int n = std::min<int>(lanes_, static_cast<int>(values.size()));
+      for (int lane = 0; lane < n; ++lane) {
+        packed |= static_cast<std::uint32_t>(
+                      bit_of(values[static_cast<std::size_t>(lane)], bit))
+                  << lane;
+      }
+      out.bits[static_cast<std::size_t>(step) *
+                   static_cast<std::size_t>(out.columns) +
+               static_cast<std::size_t>(col)] = packed;
+      act_bits_ += static_cast<std::uint64_t>(n);
+    }
+  }
+  return out;
+}
+
+WeightStream Dispatcher::stream_weights(
+    const std::vector<std::vector<Value>>& rows, int precision) {
+  LOOM_EXPECTS(precision >= 1 && precision <= kBasePrecision);
+  WeightStream out;
+  out.precision = precision;
+  out.rows = static_cast<int>(rows.size());
+  out.bits.assign(static_cast<std::size_t>(precision) *
+                      static_cast<std::size_t>(out.rows),
+                  0);
+  for (int bit = 0; bit < precision; ++bit) {  // LSB first
+    for (int row = 0; row < out.rows; ++row) {
+      const auto& values = rows[static_cast<std::size_t>(row)];
+      std::uint32_t packed = 0;
+      const int n = std::min<int>(lanes_, static_cast<int>(values.size()));
+      for (int lane = 0; lane < n; ++lane) {
+        packed |= static_cast<std::uint32_t>(
+                      bit_of(values[static_cast<std::size_t>(lane)], bit))
+                  << lane;
+      }
+      out.bits[static_cast<std::size_t>(bit) * static_cast<std::size_t>(out.rows) +
+               static_cast<std::size_t>(row)] = packed;
+      weight_bits_ += static_cast<std::uint64_t>(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace loom::arch

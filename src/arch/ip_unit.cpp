@@ -1,0 +1,27 @@
+#include "arch/ip_unit.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace loom::arch {
+
+IpUnit::IpUnit(int lanes) : lanes_(lanes), tree_(lanes) {
+  LOOM_EXPECTS(lanes >= 1);
+}
+
+void IpUnit::cycle(std::span<const Value> acts,
+                   std::span<const Value> weights) noexcept {
+  ++cycles_;
+  const std::size_t n = std::min({acts.size(), weights.size(),
+                                  static_cast<std::size_t>(lanes_)});
+  Wide products[64];
+  const std::size_t m = std::min<std::size_t>(n, 64);
+  for (std::size_t i = 0; i < m; ++i) {
+    products[i] = static_cast<Wide>(acts[i]) * static_cast<Wide>(weights[i]);
+  }
+  acc_ += tree_.reduce(std::span<const Wide>(products, m));
+}
+
+}  // namespace loom::arch

@@ -1,0 +1,37 @@
+// DPNN's bit-parallel inner-product unit (paper Figure 2a): per cycle it
+// multiplies `lanes` 16-bit activations by `lanes` 16-bit weights, reduces
+// the 32-bit products through an adder tree and accumulates into an output
+// register.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arch/adder_tree.hpp"
+#include "common/bitops.hpp"
+
+namespace loom::arch {
+
+class IpUnit {
+ public:
+  explicit IpUnit(int lanes = 16);
+
+  void begin_output() noexcept { acc_ = 0; }
+
+  /// One cycle: multiply-accumulate `lanes` pairs (shorter spans read as 0).
+  void cycle(std::span<const Value> acts, std::span<const Value> weights) noexcept;
+
+  [[nodiscard]] Wide output() const noexcept { return acc_; }
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  /// Adder-tree depth + multiplier stage: pipeline latency in cycles.
+  [[nodiscard]] int pipeline_depth() const noexcept { return tree_.depth() + 1; }
+
+ private:
+  int lanes_;
+  AdderTree tree_;
+  Wide acc_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace loom::arch

@@ -1,0 +1,63 @@
+#include "arch/serializer.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::arch {
+
+BitPlanes::BitPlanes(std::int64_t values, int precision)
+    : values_(values),
+      precision_(precision),
+      words_per_plane_((values + 63) / 64),
+      words_(static_cast<std::size_t>(words_per_plane_ * precision), 0) {
+  LOOM_EXPECTS(values >= 0);
+  LOOM_EXPECTS(precision >= 1 && precision <= kBasePrecision);
+}
+
+std::size_t BitPlanes::word_index(std::int64_t value_index, int plane) const {
+  LOOM_EXPECTS(value_index >= 0 && value_index < values_);
+  LOOM_EXPECTS(plane >= 0 && plane < precision_);
+  return static_cast<std::size_t>(plane * words_per_plane_ + value_index / 64);
+}
+
+int BitPlanes::bit(std::int64_t value_index, int plane) const {
+  const std::uint64_t word = words_[word_index(value_index, plane)];
+  return static_cast<int>((word >> (value_index % 64)) & 1u);
+}
+
+void BitPlanes::set_bit(std::int64_t value_index, int plane, int bit) {
+  std::uint64_t& word = words_[word_index(value_index, plane)];
+  const std::uint64_t mask = std::uint64_t{1} << (value_index % 64);
+  if (bit) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+BitPlanes serialize(std::span<const Value> values, int precision) {
+  BitPlanes planes(static_cast<std::int64_t>(values.size()), precision);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (int b = 0; b < precision; ++b) {
+      planes.set_bit(static_cast<std::int64_t>(i), b, bit_of(values[i], b));
+    }
+  }
+  return planes;
+}
+
+std::vector<Value> deserialize(const BitPlanes& planes, bool is_signed) {
+  std::vector<Value> out(static_cast<std::size_t>(planes.values()), 0);
+  const int p = planes.precision();
+  for (std::int64_t i = 0; i < planes.values(); ++i) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < p; ++b) {
+      v |= static_cast<std::uint32_t>(planes.bit(i, b)) << b;
+    }
+    if (is_signed && p < 16 && ((v >> (p - 1)) & 1u)) {
+      v |= ~((1u << p) - 1u);  // sign-extend
+    }
+    out[static_cast<std::size_t>(i)] = static_cast<Value>(static_cast<std::uint16_t>(v));
+  }
+  return out;
+}
+
+}  // namespace loom::arch

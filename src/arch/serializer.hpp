@@ -1,0 +1,51 @@
+// Bit-interleaved (bit-plane) serialization: the memory layout Loom uses to
+// store weights and activations using only as many bits as the profile
+// requires (§3.2 "Reducing Memory Footprint and Bandwidth"). Given N values
+// and precision p, plane b holds bit b of all N values on consecutive rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace loom::arch {
+
+/// Packed bit-planes of a value block.
+class BitPlanes {
+ public:
+  BitPlanes() = default;
+  BitPlanes(std::int64_t values, int precision);
+
+  [[nodiscard]] std::int64_t values() const noexcept { return values_; }
+  [[nodiscard]] int precision() const noexcept { return precision_; }
+
+  [[nodiscard]] int bit(std::int64_t value_index, int plane) const;
+  void set_bit(std::int64_t value_index, int plane, int bit);
+
+  /// Total storage in bits (= values * precision, padded to words).
+  [[nodiscard]] std::int64_t storage_bits() const noexcept {
+    return values_ * precision_;
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+ private:
+  [[nodiscard]] std::size_t word_index(std::int64_t value_index, int plane) const;
+
+  std::int64_t values_ = 0;
+  int precision_ = 0;
+  std::int64_t words_per_plane_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Pack `values` into bit-planes keeping only `precision` bits of each
+/// (two's-complement truncation: callers must ensure values fit).
+[[nodiscard]] BitPlanes serialize(std::span<const Value> values, int precision);
+
+/// Reconstruct the values from the planes. `is_signed` sign-extends from
+/// the top plane (two's complement); otherwise values are zero-extended.
+[[nodiscard]] std::vector<Value> deserialize(const BitPlanes& planes, bool is_signed);
+
+}  // namespace loom::arch

@@ -1,0 +1,67 @@
+#include "arch/sip.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::arch {
+
+Sip::Sip(SipConfig cfg) : cfg_(cfg), tree_(cfg.lanes) {
+  LOOM_EXPECTS(cfg.lanes >= 1 && cfg.lanes <= 32);
+}
+
+void Sip::begin_output() noexcept {
+  or_ = 0;
+  ac1_ = 0;
+}
+
+void Sip::begin_weight_pass(std::uint32_t wr_bits, int weight_bit,
+                            bool is_weight_msb) noexcept {
+  wr_ = wr_bits;
+  weight_bit_ = weight_bit;
+  weight_msb_pass_ = is_weight_msb;
+  ac1_ = 0;
+}
+
+void Sip::cycle(std::uint32_t act_bits, bool is_act_msb) noexcept {
+  ++cycles_;
+  const int tree_out = tree_.reduce_bits(act_bits & wr_);
+  // MSB-first serialization: AC1 shifts itself each cycle; the negation
+  // block subtracts the sign-bit cycle of signed activations.
+  const Wide signed_out =
+      (cfg_.act_signed && is_act_msb) ? -static_cast<Wide>(tree_out)
+                                      : static_cast<Wide>(tree_out);
+  ac1_ = (ac1_ << 1) + signed_out;
+}
+
+void Sip::end_weight_pass() noexcept {
+  const Wide shifted = ac1_ << weight_bit_;
+  or_ += (cfg_.weight_signed && weight_msb_pass_) ? -shifted : shifted;
+  ac1_ = 0;
+}
+
+Wide sip_inner_product(Sip& sip, std::span<const Value> acts,
+                       std::span<const Value> weights, int pa, int pw) {
+  LOOM_EXPECTS(acts.size() == weights.size());
+  LOOM_EXPECTS(static_cast<int>(acts.size()) <= sip.config().lanes);
+  LOOM_EXPECTS(pa >= 1 && pa <= kBasePrecision);
+  LOOM_EXPECTS(pw >= 1 && pw <= kBasePrecision);
+
+  sip.begin_output();
+  for (int wb = 0; wb < pw; ++wb) {
+    std::uint32_t wr = 0;
+    for (std::size_t lane = 0; lane < weights.size(); ++lane) {
+      wr |= static_cast<std::uint32_t>(bit_of(weights[lane], wb)) << lane;
+    }
+    sip.begin_weight_pass(wr, wb, /*is_weight_msb=*/wb == pw - 1);
+    for (int ab = pa - 1; ab >= 0; --ab) {  // MSB-first
+      std::uint32_t bits = 0;
+      for (std::size_t lane = 0; lane < acts.size(); ++lane) {
+        bits |= static_cast<std::uint32_t>(bit_of(acts[lane], ab)) << lane;
+      }
+      sip.cycle(bits, /*is_act_msb=*/ab == pa - 1);
+    }
+    sip.end_weight_pass();
+  }
+  return sip.output();
+}
+
+}  // namespace loom::arch

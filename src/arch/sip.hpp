@@ -1,0 +1,88 @@
+// Functional model of Loom's bit-Serial Inner-Product unit (paper Figure 3).
+//
+// Each cycle a SIP ANDs `lanes` single-bit activations with the `lanes`
+// 1-bit Weight Registers and reduces the partial products through a 1-bit
+// adder tree. AC1 shift-accumulates the tree output over the activation
+// bits of one weight-bit pass; at the end of the pass AC2 shifts AC1 by the
+// weight-bit significance and accumulates into the Output Register (OR).
+// Negation blocks subtract the passes corresponding to two's-complement
+// MSBs (sign bits) of either operand. A cascade input lets row-adjacent
+// SIPs reduce partial outputs (§3.2 "Processing Layers with Few Outputs"),
+// and a comparator implements max pooling.
+//
+// Processing order in this model: activation bits MSB->LSB within a pass
+// (AC1's <<1 self-shift, as drawn in Figure 3), weight bits in any order
+// (AC2 applies the explicit << by bit significance). The unit computes the
+// exact signed inner product; tests prove equivalence with the bit-parallel
+// reference for all precision combinations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arch/adder_tree.hpp"
+#include "common/bitops.hpp"
+
+namespace loom::arch {
+
+struct SipConfig {
+  int lanes = 16;
+  bool act_signed = false;   ///< conv activations are post-ReLU (unsigned)
+  bool weight_signed = true;
+};
+
+class Sip {
+ public:
+  explicit Sip(SipConfig cfg = {});
+
+  /// Clear the output register (start of a new output activation).
+  void begin_output() noexcept;
+
+  /// Load one bit of each weight into the WRs and start a pass.
+  /// `weight_bit` is the bit significance (0 = LSB); `is_weight_msb` marks
+  /// the two's-complement sign-bit pass.
+  void begin_weight_pass(std::uint32_t wr_bits, int weight_bit,
+                         bool is_weight_msb) noexcept;
+
+  /// One cycle: multiply the WR bits by `act_bits` (packed, lane i = bit i)
+  /// and shift-accumulate into AC1. Activation bits must be fed MSB-first;
+  /// `is_act_msb` marks the sign-bit cycle of signed activations.
+  void cycle(std::uint32_t act_bits, bool is_act_msb) noexcept;
+
+  /// Close the pass: AC2 shifts AC1 by the weight-bit significance and
+  /// accumulates into OR (negated for the weight sign-bit pass).
+  void end_weight_pass() noexcept;
+
+  /// Cascade input: accumulate a neighbour SIP's partial output into OR.
+  void cascade_in(Wide partial) noexcept { or_ += partial; }
+
+  /// Max-pooling comparator at the SIP output.
+  [[nodiscard]] Wide max_unit(Wide other) const noexcept {
+    return or_ > other ? or_ : other;
+  }
+
+  [[nodiscard]] Wide output() const noexcept { return or_; }
+  [[nodiscard]] const SipConfig& config() const noexcept { return cfg_; }
+
+  /// Total cycles this SIP has executed (activity for the energy model).
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+ private:
+  SipConfig cfg_;
+  AdderTree tree_;
+  std::uint32_t wr_ = 0;       // 1-bit weight registers, lane i = bit i
+  int weight_bit_ = 0;
+  bool weight_msb_pass_ = false;
+  Wide ac1_ = 0;
+  Wide or_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Convenience driver: compute the inner product of `acts` x `weights`
+/// bit-serially through one SIP with the given precisions. Returns the OR
+/// value; the exact number of SIP cycles spent is `pa * pw`.
+[[nodiscard]] Wide sip_inner_product(Sip& sip, std::span<const Value> acts,
+                                     std::span<const Value> weights, int pa,
+                                     int pw);
+
+}  // namespace loom::arch

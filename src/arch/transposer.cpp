@@ -1,0 +1,11 @@
+#include "arch/transposer.hpp"
+
+namespace loom::arch {
+
+BitPlanes Transposer::rotate(std::span<const Value> outputs, int precision) {
+  ++rotations_;
+  values_ += outputs.size();
+  return serialize(outputs, precision);
+}
+
+}  // namespace loom::arch

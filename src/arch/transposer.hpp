@@ -1,0 +1,32 @@
+// The transposer rotates output activations from the value-parallel layout
+// produced at ABout into the bit-interleaved layout the Activation Memory
+// stores (§3.2). Since every output activation takes tens-to-hundreds of
+// cycles to produce, one narrow transposer keeps up; we model it
+// functionally and count rotations for the energy model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arch/serializer.hpp"
+
+namespace loom::arch {
+
+class Transposer {
+ public:
+  /// Rotate a block of output activations into `precision`-bit planes.
+  [[nodiscard]] BitPlanes rotate(std::span<const Value> outputs, int precision);
+
+  [[nodiscard]] std::uint64_t rotations() const noexcept { return rotations_; }
+  [[nodiscard]] std::uint64_t values_rotated() const noexcept { return values_; }
+  void reset() noexcept {
+    rotations_ = 0;
+    values_ = 0;
+  }
+
+ private:
+  std::uint64_t rotations_ = 0;
+  std::uint64_t values_ = 0;
+};
+
+}  // namespace loom::arch

@@ -1,0 +1,25 @@
+// Minimal CSV writer so experiment binaries can emit machine-readable
+// results alongside the human-readable tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace loom {
+
+/// Streams rows of quoted-when-needed CSV cells to an ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escape a single cell per RFC 4180 (quote if it contains , " or \n).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace loom

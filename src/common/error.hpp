@@ -1,0 +1,55 @@
+// Error handling primitives for the loom library.
+//
+// Following the C++ Core Guidelines we use exceptions for error reporting
+// (E.2) and an Expects/Ensures-style contract macro for precondition checks
+// (I.6). Contract violations throw `loom::ContractViolation` so tests can
+// assert on them; they are programming errors, not recoverable conditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace loom {
+
+/// Base class for all errors thrown by the loom library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration is internally inconsistent (bad layer
+/// geometry, impossible accelerator dimensions, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a precondition (Expects) or postcondition (Ensures) fails.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + cond + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace loom
+
+// Precondition check: use at function entry to validate arguments.
+#define LOOM_EXPECTS(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::loom::detail::contract_fail("Expects", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+// Postcondition / invariant check.
+#define LOOM_ENSURES(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::loom::detail::contract_fail("Ensures", #cond, __FILE__, __LINE__); \
+  } while (false)

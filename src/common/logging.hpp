@@ -1,0 +1,45 @@
+// Tiny leveled logger. Experiments use it for progress reporting; it is
+// silent at the default level so test output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace loom {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one log line (thread-unsafe by design: the simulators are
+/// single-threaded and benches log from the main thread only).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace loom
+
+#define LOOM_LOG_DEBUG ::loom::detail::LogLine(::loom::LogLevel::kDebug)
+#define LOOM_LOG_INFO ::loom::detail::LogLine(::loom::LogLevel::kInfo)
+#define LOOM_LOG_WARN ::loom::detail::LogLine(::loom::LogLevel::kWarn)
+#define LOOM_LOG_ERROR ::loom::detail::LogLine(::loom::LogLevel::kError)

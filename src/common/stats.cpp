@@ -1,0 +1,93 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace loom {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) {
+    LOOM_EXPECTS(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  LOOM_EXPECTS(xs.size() == ws.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += xs[i] * ws[i];
+    den += ws[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+IntHistogram::IntHistogram(int bins) : counts_(static_cast<std::size_t>(bins), 0) {
+  LOOM_EXPECTS(bins > 0);
+}
+
+void IntHistogram::add(int bin, std::uint64_t weight) {
+  LOOM_EXPECTS(bin >= 0 && bin < bins());
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count(int bin) const {
+  LOOM_EXPECTS(bin >= 0 && bin < bins());
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+double IntHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += static_cast<double>(i) * static_cast<double>(counts_[i]);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+}  // namespace loom

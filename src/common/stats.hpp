@@ -1,0 +1,60 @@
+// Small statistics helpers used by the comparison harness and the
+// calibration code: means, geometric means (the paper reports geomeans),
+// weighted aggregation and a streaming accumulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace loom {
+
+/// Arithmetic mean; 0 for an empty range.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Geometric mean; requires all inputs > 0. Returns 0 for an empty range.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Weighted arithmetic mean: sum(w*x)/sum(w).
+[[nodiscard]] double weighted_mean(std::span<const double> xs,
+                                   std::span<const double> ws);
+
+/// Sample standard deviation (n-1 denominator); 0 when n < 2.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Streaming accumulator for count/sum/min/max/mean.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over integer bins [0, bins); used for precision distributions.
+class IntHistogram {
+ public:
+  explicit IntHistogram(int bins);
+
+  void add(int bin, std::uint64_t weight = 1);
+  [[nodiscard]] std::uint64_t count(int bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()); }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace loom

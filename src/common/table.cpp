@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace loom {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  // Column widths over header and all rows.
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      width[c] = std::max(width[c], cells[c].size());
+    }
+  };
+  widen(header_);
+  for (const Row& r : rows_) widen(r.cells);
+
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  total = total > 2 ? total - 2 : total;
+
+  std::ostringstream out;
+  auto rule = [&] { out << std::string(total, '-') << '\n'; };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(width[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) {
+    out << title_ << '\n';
+    rule();
+  }
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const Row& r : rows_) {
+    if (r.rule_before) rule();
+    emit(r.cells);
+  }
+  return out.str();
+}
+
+}  // namespace loom

@@ -1,0 +1,39 @@
+// Plain-text table formatting used by the bench binaries to print the
+// paper's tables and figure series in a readable, diffable layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace loom {
+
+/// A simple column-aligned ASCII table. Rows are added as vectors of cells;
+/// column widths are computed on render. Supports a title, a header row and
+/// horizontal rules between row groups.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  /// Add a horizontal rule (rendered as dashes) before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+  /// Format a double with `digits` fractional digits.
+  [[nodiscard]] static std::string num(double v, int digits = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace loom

@@ -1,0 +1,141 @@
+#include "core/reports.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+#include "nn/zoo/zoo.hpp"
+
+namespace loom::core {
+
+namespace {
+
+using sim::RunResult;
+
+void append_section(TextTable& table, const sim::Comparison& cmp,
+                    const std::vector<std::string>& archs,
+                    RunResult::Filter filter) {
+  for (const std::string& net : nn::zoo::paper_networks()) {
+    std::vector<std::string> row{net};
+    bool any = false;
+    for (const std::string& arch : archs) {
+      bool found = false;
+      for (const auto& e : cmp.entries(filter)) {
+        if (e.network == net && e.arch == arch) {
+          row.push_back(TextTable::num(e.perf));
+          row.push_back(TextTable::num(e.eff));
+          found = true;
+          any = true;
+          break;
+        }
+      }
+      if (!found) {
+        row.push_back("n/a");
+        row.push_back("n/a");
+      }
+    }
+    if (any) table.add_row(std::move(row));
+  }
+  std::vector<std::string> geo{"geomean"};
+  for (const std::string& arch : archs) {
+    const auto g = cmp.geomeans(arch, filter);
+    geo.push_back(g.perf > 0 ? TextTable::num(g.perf) : "n/a");
+    geo.push_back(g.eff > 0 ? TextTable::num(g.eff) : "n/a");
+  }
+  table.add_rule();
+  table.add_row(std::move(geo));
+}
+
+TextTable make_header(const std::string& title,
+                      const std::vector<std::string>& archs) {
+  TextTable table(title);
+  std::vector<std::string> header{"Network"};
+  for (const std::string& arch : archs) {
+    // Shorten "LM1b(E=128, ...)" style names to their prefix.
+    const std::string short_name = arch.substr(0, arch.find('('));
+    header.push_back(short_name + " Perf");
+    header.push_back(short_name + " Eff");
+  }
+  table.set_header(std::move(header));
+  return table;
+}
+
+}  // namespace
+
+std::string format_table2(const sim::Comparison& cmp,
+                          const std::vector<std::string>& archs,
+                          const std::string& title) {
+  std::ostringstream out;
+  {
+    TextTable t = make_header(title + " — FULLY-CONNECTED LAYERS", archs);
+    append_section(t, cmp, archs, RunResult::Filter::kFc);
+    out << t.render() << '\n';
+  }
+  {
+    TextTable t = make_header(title + " — CONVOLUTIONAL LAYERS", archs);
+    append_section(t, cmp, archs, RunResult::Filter::kConv);
+    out << t.render();
+  }
+  return out.str();
+}
+
+std::string format_all_layers(const sim::Comparison& cmp,
+                              const std::vector<std::string>& archs,
+                              const std::string& title) {
+  TextTable t = make_header(title + " — ALL LAYERS COMBINED", archs);
+  append_section(t, cmp, archs, RunResult::Filter::kAll);
+  return t.render();
+}
+
+std::string format_table1() {
+  std::ostringstream out;
+  TextTable conv("Table 1 — Convolutional layers (activation/W precisions)");
+  conv.set_header({"Network", "100% Act (per layer)", "100% W",
+                   "99% Act (per layer)", "99% W"});
+  auto join = [](const std::vector<int>& v) {
+    std::string s;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) s += '-';
+      s += std::to_string(v[i]);
+    }
+    return s;
+  };
+  for (const std::string& net : nn::zoo::paper_networks()) {
+    const auto& p100 = quant::profile_for(net, quant::AccuracyTarget::k100);
+    const auto& p99 = quant::profile_for(net, quant::AccuracyTarget::k99);
+    conv.add_row({net, join(p100.conv_act), std::to_string(p100.conv_weight),
+                  join(p99.conv_act), std::to_string(p99.conv_weight)});
+  }
+  out << conv.render() << '\n';
+
+  TextTable fc("Table 1 — Fully-connected layers (weight precisions)");
+  fc.set_header({"Network", "100% W (per layer)", "99% W (per layer)"});
+  for (const std::string& net : nn::zoo::paper_networks()) {
+    const auto& p100 = quant::profile_for(net, quant::AccuracyTarget::k100);
+    const auto& p99 = quant::profile_for(net, quant::AccuracyTarget::k99);
+    fc.add_row({net, p100.fc_weight.empty() ? "n/a" : join(p100.fc_weight),
+                p99.fc_weight.empty() ? "n/a" : join(p99.fc_weight)});
+  }
+  out << fc.render();
+  return out.str();
+}
+
+std::string format_layer_breakdown(const sim::RunResult& run) {
+  TextTable t(run.arch_name + " on " + run.network);
+  t.set_header({"Layer", "Kind", "Cycles", "Stall", "MACs", "Util", "Pa", "Pw"});
+  for (const auto& l : run.layers) {
+    t.add_row({l.name,
+               l.kind == nn::LayerKind::kConv ? "conv" : "fc",
+               std::to_string(l.compute_cycles),
+               std::to_string(l.stall_cycles),
+               std::to_string(l.macs),
+               TextTable::num(l.utilization),
+               TextTable::num(l.mean_act_precision, 1),
+               TextTable::num(l.mean_weight_precision, 1)});
+  }
+  t.add_rule();
+  t.add_row({"total", "", std::to_string(run.cycles()), "",
+             std::to_string(run.macs()), "", "", ""});
+  return t.render();
+}
+
+}  // namespace loom::core

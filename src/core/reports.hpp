@@ -1,0 +1,31 @@
+// Report formatters: render Comparison / RunResult data in the layout of
+// the paper's tables and figures, so a bench run reads side-by-side with
+// the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quant/profiles.hpp"
+#include "sim/comparison.hpp"
+
+namespace loom::core {
+
+/// Table 2 layout: per network, Perf and Eff of each architecture vs DPNN,
+/// split into fully-connected and convolutional sections, plus geomeans.
+[[nodiscard]] std::string format_table2(const sim::Comparison& cmp,
+                                        const std::vector<std::string>& archs,
+                                        const std::string& title);
+
+/// Table 4 / Figure 4 layout: all layers combined.
+[[nodiscard]] std::string format_all_layers(const sim::Comparison& cmp,
+                                            const std::vector<std::string>& archs,
+                                            const std::string& title);
+
+/// Table 1 layout: the encoded precision profiles.
+[[nodiscard]] std::string format_table1();
+
+/// Per-layer drill-down of one run (cycles, utilization, precisions).
+[[nodiscard]] std::string format_layer_breakdown(const sim::RunResult& run);
+
+}  // namespace loom::core

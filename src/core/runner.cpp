@@ -1,0 +1,108 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "nn/zoo/zoo.hpp"
+
+namespace loom::core {
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
+
+std::unique_ptr<sim::Simulator> ExperimentRunner::make_baseline() const {
+  arch::DpnnConfig cfg;
+  cfg.equiv_macs = opts_.equiv_macs;
+  sim::SimOptions sim_opts;
+  sim_opts.model_offchip = opts_.model_offchip;
+  return sim::make_dpnn_simulator(cfg, sim_opts);
+}
+
+std::vector<std::unique_ptr<sim::Simulator>> ExperimentRunner::make_roster() const {
+  std::vector<std::unique_ptr<sim::Simulator>> roster;
+  sim::SimOptions sim_opts;
+  sim_opts.model_offchip = opts_.model_offchip;
+
+  if (opts_.include_stripes) {
+    arch::StripesConfig s;
+    s.equiv_macs = opts_.equiv_macs;
+    s.dynamic_act_precision = false;
+    roster.push_back(sim::make_stripes_simulator(s, sim_opts));
+  }
+  if (opts_.include_dstripes) {
+    arch::StripesConfig s;
+    s.equiv_macs = opts_.equiv_macs;
+    s.dynamic_act_precision = true;
+    roster.push_back(sim::make_stripes_simulator(s, sim_opts));
+  }
+  for (const int bits : opts_.loom_bits) {
+    arch::LoomConfig l;
+    l.equiv_macs = opts_.equiv_macs;
+    l.bits_per_cycle = bits;
+    l.per_group_weights = opts_.per_group_weights;
+    roster.push_back(sim::make_loom_simulator(l, sim_opts));
+  }
+  return roster;
+}
+
+std::vector<std::string> ExperimentRunner::roster_names() const {
+  std::vector<std::string> names;
+  for (const auto& sim : make_roster()) names.push_back(sim->name());
+  return names;
+}
+
+sim::NetworkWorkload& ExperimentRunner::workload_for(const std::string& network) {
+  for (auto& [name, wl] : workloads_) {
+    if (name == network) return *wl;
+  }
+  sim::WorkloadOptions wl_opts;
+  wl_opts.seed = opts_.seed;
+  workloads_.emplace_back(
+      network, sim::prepare_network(network, opts_.target, wl_opts));
+  return *workloads_.back().second;
+}
+
+sim::Comparison ExperimentRunner::compare(const std::vector<std::string>& networks) {
+  const std::vector<std::string>& names =
+      networks.empty() ? nn::zoo::paper_networks() : networks;
+
+  auto baseline = make_baseline();
+  auto roster = make_roster();
+  std::vector<sim::Simulator*> roster_ptrs;
+  roster_ptrs.reserve(roster.size());
+  for (const auto& sim : roster) roster_ptrs.push_back(sim.get());
+
+  sim::Comparison cmp;
+  for (const std::string& net : names) {
+    cmp.add_network(workload_for(net), *baseline, roster_ptrs);
+  }
+  return cmp;
+}
+
+sim::RunResult ExperimentRunner::run_single(const std::string& arch_key,
+                                            const std::string& network) {
+  sim::SimOptions sim_opts;
+  sim_opts.model_offchip = opts_.model_offchip;
+
+  std::unique_ptr<sim::Simulator> sim;
+  if (arch_key == "dpnn") {
+    arch::DpnnConfig cfg;
+    cfg.equiv_macs = opts_.equiv_macs;
+    sim = sim::make_dpnn_simulator(cfg, sim_opts);
+  } else if (arch_key == "stripes" || arch_key == "dstripes") {
+    arch::StripesConfig cfg;
+    cfg.equiv_macs = opts_.equiv_macs;
+    cfg.dynamic_act_precision = (arch_key == "dstripes");
+    sim = sim::make_stripes_simulator(cfg, sim_opts);
+  } else if (arch_key == "lm1b" || arch_key == "lm2b" || arch_key == "lm4b") {
+    arch::LoomConfig cfg;
+    cfg.equiv_macs = opts_.equiv_macs;
+    cfg.bits_per_cycle = arch_key[2] - '0';
+    cfg.per_group_weights = opts_.per_group_weights;
+    sim = sim::make_loom_simulator(cfg, sim_opts);
+  } else {
+    throw ConfigError("unknown architecture key: " + arch_key);
+  }
+  return sim->run(workload_for(network));
+}
+
+}  // namespace loom::core

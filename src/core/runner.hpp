@@ -1,0 +1,60 @@
+// ExperimentRunner: builds the paper's standard architecture roster at a
+// given equivalent compute scale and runs the comparison over zoo networks,
+// sharing one workload per network across all architectures (the group-
+// precision caches make this a large win).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quant/profiles.hpp"
+#include "sim/comparison.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace loom::core {
+
+struct RunnerOptions {
+  int equiv_macs = 128;
+  quant::AccuracyTarget target = quant::AccuracyTarget::k100;
+  bool per_group_weights = false;  ///< §4.6 / Table 4 mode for the Loom variants
+  bool model_offchip = false;      ///< Figure 5 mode
+  std::uint64_t seed = 1;
+
+  bool include_stripes = true;
+  bool include_dstripes = false;
+  std::vector<int> loom_bits = {1, 2, 4};  ///< which LMxb variants to run
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions opts = {});
+
+  /// Run the baseline + roster over the named zoo networks, producing the
+  /// relative comparison. Networks default to the paper's six.
+  [[nodiscard]] sim::Comparison compare(
+      const std::vector<std::string>& networks = {});
+
+  /// Run one architecture by display key ("dpnn", "stripes", "dstripes",
+  /// "lm1b", "lm2b", "lm4b") over one network; used by examples/benches
+  /// needing raw RunResults.
+  [[nodiscard]] sim::RunResult run_single(const std::string& arch_key,
+                                          const std::string& network);
+
+  /// Display names of the roster architectures, in run order.
+  [[nodiscard]] std::vector<std::string> roster_names() const;
+
+  [[nodiscard]] const RunnerOptions& options() const noexcept { return opts_; }
+
+ private:
+  [[nodiscard]] std::unique_ptr<sim::Simulator> make_baseline() const;
+  [[nodiscard]] std::vector<std::unique_ptr<sim::Simulator>> make_roster() const;
+  [[nodiscard]] sim::NetworkWorkload& workload_for(const std::string& network);
+
+  RunnerOptions opts_;
+  std::vector<std::pair<std::string, std::unique_ptr<sim::NetworkWorkload>>>
+      workloads_;
+};
+
+}  // namespace loom::core

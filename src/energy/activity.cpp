@@ -1,0 +1,28 @@
+#include "energy/activity.hpp"
+
+namespace loom::energy {
+
+void Activity::merge(const Activity& other) noexcept {
+  mac_ops += other.mac_ops;
+  sip_lane_bit_ops += other.sip_lane_bit_ops;
+  stripes_lane_ops += other.stripes_lane_ops;
+  sip_idle_lane_cycles += other.sip_idle_lane_cycles;
+  stripes_idle_lane_cycles += other.stripes_idle_lane_cycles;
+  mac_idle_cycles += other.mac_idle_cycles;
+  wr_bits_loaded += other.wr_bits_loaded;
+  detector_values += other.detector_values;
+  transposer_bits += other.transposer_bits;
+  abin_read_bits += other.abin_read_bits;
+  abin_write_bits += other.abin_write_bits;
+  about_read_bits += other.about_read_bits;
+  about_write_bits += other.about_write_bits;
+  am_read_bits += other.am_read_bits;
+  am_write_bits += other.am_write_bits;
+  wm_read_bits += other.wm_read_bits;
+  wm_write_bits += other.wm_write_bits;
+  dram_read_bits += other.dram_read_bits;
+  dram_write_bits += other.dram_write_bits;
+  cycles += other.cycles;
+}
+
+}  // namespace loom::energy

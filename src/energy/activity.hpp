@@ -1,0 +1,43 @@
+// Activity counters the simulators fill per layer; the energy model turns
+// them into joules via the coefficient tables. Power results are therefore
+// data-driven ("actual data-driven activity factors", §4.1): idle lanes,
+// trimmed precisions and packed memory traffic all show up here.
+#pragma once
+
+#include <cstdint>
+
+namespace loom::energy {
+
+struct Activity {
+  // Compute
+  std::uint64_t mac_ops = 0;            ///< DPNN 16b MACs actually performed
+  std::uint64_t sip_lane_bit_ops = 0;   ///< Loom 1b AND+tree lane-bit operations
+  std::uint64_t stripes_lane_ops = 0;   ///< Stripes 1b x 16b lane operations
+  // Idle compute slots still draw clock/register power (the reason the
+  // paper's large underutilized configurations lose energy efficiency).
+  std::uint64_t sip_idle_lane_cycles = 0;
+  std::uint64_t stripes_idle_lane_cycles = 0;
+  std::uint64_t mac_idle_cycles = 0;
+  std::uint64_t wr_bits_loaded = 0;     ///< weight-register bit loads
+  std::uint64_t detector_values = 0;    ///< values inspected by the precision unit
+  std::uint64_t transposer_bits = 0;    ///< output bits rotated for packed AM
+
+  // Storage traffic (bits)
+  std::uint64_t abin_read_bits = 0;
+  std::uint64_t abin_write_bits = 0;
+  std::uint64_t about_read_bits = 0;
+  std::uint64_t about_write_bits = 0;
+  std::uint64_t am_read_bits = 0;
+  std::uint64_t am_write_bits = 0;
+  std::uint64_t wm_read_bits = 0;
+  std::uint64_t wm_write_bits = 0;
+  std::uint64_t dram_read_bits = 0;
+  std::uint64_t dram_write_bits = 0;
+
+  // Time (for leakage)
+  std::uint64_t cycles = 0;
+
+  void merge(const Activity& other) noexcept;
+};
+
+}  // namespace loom::energy

@@ -1,0 +1,42 @@
+// Post-layout-style area accounting per architecture, composed from the
+// coefficient table: compute array + serial-data support blocks + SRAM
+// buffers, with the eDRAM memories reported separately so both the §4.4
+// compute-area comparison and Figure 5's with-memory comparison can be
+// produced.
+#pragma once
+
+#include "arch/config.hpp"
+#include "energy/coefficients.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace loom::energy {
+
+struct AreaBreakdown {
+  double compute_mm2 = 0.0;     ///< MAC / SIP / Stripes arrays
+  double support_mm2 = 0.0;     ///< detector, transposer, dispatcher
+  double sram_mm2 = 0.0;        ///< ABin + ABout
+  double edram_mm2 = 0.0;       ///< AM + WM
+
+  /// §4.4-style comparison: logic and buffers, excluding AM/WM macros.
+  [[nodiscard]] double core_mm2() const noexcept {
+    return compute_mm2 + support_mm2 + sram_mm2;
+  }
+  /// Figure 5-style comparison: everything on chip.
+  [[nodiscard]] double total_mm2() const noexcept {
+    return core_mm2() + edram_mm2;
+  }
+};
+
+[[nodiscard]] AreaBreakdown dpnn_area(const arch::DpnnConfig& cfg,
+                                      const mem::MemorySystemConfig& mem,
+                                      const AreaCoefficients& c = default_area_coefficients());
+
+[[nodiscard]] AreaBreakdown loom_area(const arch::LoomConfig& cfg,
+                                      const mem::MemorySystemConfig& mem,
+                                      const AreaCoefficients& c = default_area_coefficients());
+
+[[nodiscard]] AreaBreakdown stripes_area(const arch::StripesConfig& cfg,
+                                         const mem::MemorySystemConfig& mem,
+                                         const AreaCoefficients& c = default_area_coefficients());
+
+}  // namespace loom::energy

@@ -1,0 +1,15 @@
+#include "energy/coefficients.hpp"
+
+namespace loom::energy {
+
+const EnergyCoefficients& default_energy_coefficients() {
+  static const EnergyCoefficients c{};
+  return c;
+}
+
+const AreaCoefficients& default_area_coefficients() {
+  static const AreaCoefficients c{};
+  return c;
+}
+
+}  // namespace loom::energy

@@ -1,0 +1,24 @@
+// Footprint accounting for bit-interleaved storage. Loom stores weights and
+// activations packed to the per-layer precision (§3.2), so a layer's
+// footprint is values x precision bits; the bit-parallel baseline always
+// spends 16 bits per value.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+
+namespace loom::mem {
+
+/// Bits to store `count` values at `precision` bits each (bit-interleaved;
+/// rows padded to the `row_bits`-wide memory interface).
+[[nodiscard]] std::int64_t packed_bits(std::int64_t count, int precision,
+                                       int row_bits = 2048);
+
+/// Bits for the same values in the baseline's 16-bit layout.
+[[nodiscard]] std::int64_t parallel_bits(std::int64_t count, int row_bits = 2048);
+
+/// Compression ratio of packed vs 16-bit storage (> 1 means smaller).
+[[nodiscard]] double compression_ratio(std::int64_t count, int precision);
+
+}  // namespace loom::mem

@@ -1,0 +1,26 @@
+#include "mem/dram.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace loom::mem {
+
+DramChannel::DramChannel(DramConfig cfg) : cfg_(cfg) {
+  LOOM_EXPECTS(cfg.peak_gbps > 0 && cfg.efficiency > 0 && cfg.efficiency <= 1.0);
+  LOOM_EXPECTS(cfg.clock_ghz > 0 && cfg.burst_bytes > 0);
+}
+
+double DramChannel::bytes_per_cycle() const noexcept {
+  return cfg_.peak_gbps * cfg_.efficiency / cfg_.clock_ghz;
+}
+
+std::uint64_t DramChannel::cycles_for_bits(std::uint64_t bits) const noexcept {
+  if (bits == 0) return 0;
+  const std::uint64_t burst_bits = static_cast<std::uint64_t>(cfg_.burst_bytes) * 8;
+  const std::uint64_t bursts = (bits + burst_bits - 1) / burst_bits;
+  const double bytes = static_cast<double>(bursts * static_cast<std::uint64_t>(cfg_.burst_bytes));
+  return static_cast<std::uint64_t>(std::ceil(bytes / bytes_per_cycle()));
+}
+
+}  // namespace loom::mem

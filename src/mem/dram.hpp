@@ -1,0 +1,34 @@
+// Off-chip memory: a single channel of LPDDR4-4267 (paper §4.5). A x32
+// channel at 4267 MT/s peaks at ~17.07 GB/s; sustained bandwidth applies a
+// command/refresh efficiency factor, and transfers round up to the burst
+// granularity (BL16 x 32 bits = 64 bytes).
+#pragma once
+
+#include <cstdint>
+
+namespace loom::mem {
+
+struct DramConfig {
+  double peak_gbps = 17.066;   ///< 4267 MT/s x 32 bits
+  double efficiency = 0.75;    ///< sustained fraction of peak
+  double clock_ghz = 1.0;      ///< accelerator clock for cycle conversion
+  int burst_bytes = 64;        ///< BL16 x32 burst granularity
+};
+
+class DramChannel {
+ public:
+  explicit DramChannel(DramConfig cfg = {});
+
+  /// Accelerator cycles to transfer `bits` (rounded up to whole bursts).
+  [[nodiscard]] std::uint64_t cycles_for_bits(std::uint64_t bits) const noexcept;
+
+  /// Sustained bytes per accelerator cycle.
+  [[nodiscard]] double bytes_per_cycle() const noexcept;
+
+  [[nodiscard]] const DramConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DramConfig cfg_;
+};
+
+}  // namespace loom::mem

@@ -1,0 +1,15 @@
+#include "mem/edram.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::mem {
+
+EdramArray::EdramArray(std::string name, std::int64_t capacity_bits,
+                       int interface_bits)
+    : name_(std::move(name)),
+      capacity_bits_(capacity_bits),
+      interface_bits_(interface_bits) {
+  LOOM_EXPECTS(capacity_bits > 0 && interface_bits > 0);
+}
+
+}  // namespace loom::mem

@@ -1,0 +1,36 @@
+// eDRAM model for the Activation Memory (AM) and Weight Memory (WM),
+// following the paper's Destiny-modeled on-chip memories: wide interface,
+// capacity checks and traffic counting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/traffic.hpp"
+
+namespace loom::mem {
+
+class EdramArray {
+ public:
+  EdramArray(std::string name, std::int64_t capacity_bits, int interface_bits);
+
+  void read(std::uint64_t bits) noexcept { traffic_.add_read(bits); }
+  void write(std::uint64_t bits) noexcept { traffic_.add_write(bits); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::int64_t capacity_bits() const noexcept { return capacity_bits_; }
+  [[nodiscard]] int interface_bits() const noexcept { return interface_bits_; }
+  [[nodiscard]] bool fits(std::int64_t bits) const noexcept {
+    return bits <= capacity_bits_;
+  }
+  [[nodiscard]] const TrafficCounters& traffic() const noexcept { return traffic_; }
+  void reset() noexcept { traffic_ = {}; }
+
+ private:
+  std::string name_;
+  std::int64_t capacity_bits_;
+  int interface_bits_;
+  TrafficCounters traffic_;
+};
+
+}  // namespace loom::mem

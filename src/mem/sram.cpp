@@ -1,0 +1,13 @@
+#include "mem/sram.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::mem {
+
+SramBuffer::SramBuffer(std::string name, std::int64_t capacity_bits,
+                       int port_bits)
+    : name_(std::move(name)), capacity_bits_(capacity_bits), port_bits_(port_bits) {
+  LOOM_EXPECTS(capacity_bits > 0 && port_bits > 0);
+}
+
+}  // namespace loom::mem

@@ -1,0 +1,36 @@
+// SRAM buffer model (ABin / ABout). Capacity, interface width and traffic
+// counting; energy and area per access come from the coefficient tables
+// (CACTI-class numbers for 65 nm, see energy/coefficients.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/traffic.hpp"
+
+namespace loom::mem {
+
+class SramBuffer {
+ public:
+  SramBuffer(std::string name, std::int64_t capacity_bits, int port_bits);
+
+  void read(std::uint64_t bits) noexcept { traffic_.add_read(bits); }
+  void write(std::uint64_t bits) noexcept { traffic_.add_write(bits); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::int64_t capacity_bits() const noexcept { return capacity_bits_; }
+  [[nodiscard]] int port_bits() const noexcept { return port_bits_; }
+  [[nodiscard]] const TrafficCounters& traffic() const noexcept { return traffic_; }
+  [[nodiscard]] bool fits(std::int64_t bits) const noexcept {
+    return bits <= capacity_bits_;
+  }
+  void reset() noexcept { traffic_ = {}; }
+
+ private:
+  std::string name_;
+  std::int64_t capacity_bits_;
+  int port_bits_;
+  TrafficCounters traffic_;
+};
+
+}  // namespace loom::mem

@@ -1,0 +1,34 @@
+// Traffic counters shared by the memory components and the simulators.
+#pragma once
+
+#include <cstdint>
+
+namespace loom::mem {
+
+struct TrafficCounters {
+  std::uint64_t read_bits = 0;
+  std::uint64_t write_bits = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+
+  [[nodiscard]] std::uint64_t total_bits() const noexcept {
+    return read_bits + write_bits;
+  }
+
+  void add_read(std::uint64_t bits) noexcept {
+    read_bits += bits;
+    ++read_ops;
+  }
+  void add_write(std::uint64_t bits) noexcept {
+    write_bits += bits;
+    ++write_ops;
+  }
+  void merge(const TrafficCounters& other) noexcept {
+    read_bits += other.read_bits;
+    write_bits += other.write_bits;
+    read_ops += other.read_ops;
+    write_ops += other.write_ops;
+  }
+};
+
+}  // namespace loom::mem

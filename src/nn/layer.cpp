@@ -1,0 +1,83 @@
+#include "nn/layer.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::nn {
+
+std::int64_t conv_out_extent(std::int64_t in, int kernel, int stride, int pad,
+                             bool ceil_mode) {
+  LOOM_EXPECTS(in > 0 && kernel > 0 && stride > 0 && pad >= 0);
+  const std::int64_t span = in + 2 * pad - kernel;
+  LOOM_EXPECTS(span >= 0);
+  if (ceil_mode) return (span + stride - 1) / stride + 1;
+  return span / stride + 1;
+}
+
+std::int64_t Layer::weight_count() const noexcept {
+  if (kind == LayerKind::kPool) return 0;
+  if (kind == LayerKind::kFullyConnected) return out.c * in.elements();
+  return out.c * group_in_channels() * kernel_h * kernel_w;
+}
+
+std::int64_t Layer::macs() const noexcept {
+  if (kind == LayerKind::kPool) return 0;
+  if (kind == LayerKind::kFullyConnected) return out.c * in.elements();
+  return out.c * out.h * out.w * group_in_channels() * kernel_h * kernel_w;
+}
+
+std::int64_t Layer::windows() const noexcept {
+  if (kind == LayerKind::kConv) return out.h * out.w;
+  return 1;
+}
+
+std::int64_t Layer::inner_length() const noexcept {
+  if (kind == LayerKind::kPool) return 0;
+  if (kind == LayerKind::kFullyConnected) return in.elements();
+  return group_in_channels() * kernel_h * kernel_w;
+}
+
+Layer make_conv(std::string name, Shape3 in, int out_channels, int kernel,
+                int stride, int pad, int groups) {
+  LOOM_EXPECTS(out_channels > 0 && kernel > 0 && stride > 0 && groups > 0);
+  LOOM_EXPECTS(in.c % groups == 0 && out_channels % groups == 0);
+  Layer l;
+  l.kind = LayerKind::kConv;
+  l.name = std::move(name);
+  l.in = in;
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride = stride;
+  l.pad = pad;
+  l.groups = groups;
+  l.out = Shape3{out_channels,
+                 conv_out_extent(in.h, kernel, stride, pad, /*ceil_mode=*/false),
+                 conv_out_extent(in.w, kernel, stride, pad, /*ceil_mode=*/false)};
+  return l;
+}
+
+Layer make_fc(std::string name, Shape3 in, int out_features) {
+  LOOM_EXPECTS(out_features > 0 && in.elements() > 0);
+  Layer l;
+  l.kind = LayerKind::kFullyConnected;
+  l.name = std::move(name);
+  l.in = in;
+  l.out = Shape3{out_features, 1, 1};
+  return l;
+}
+
+Layer make_pool(std::string name, Shape3 in, PoolKind pool, int kernel,
+                int stride, int pad, bool ceil_mode) {
+  LOOM_EXPECTS(kernel > 0 && stride > 0);
+  Layer l;
+  l.kind = LayerKind::kPool;
+  l.name = std::move(name);
+  l.in = in;
+  l.pool = pool;
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride = stride;
+  l.pad = pad;
+  l.out = Shape3{in.c, conv_out_extent(in.h, kernel, stride, pad, ceil_mode),
+                 conv_out_extent(in.w, kernel, stride, pad, ceil_mode)};
+  return l;
+}
+
+}  // namespace loom::nn

@@ -1,0 +1,104 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace loom::nn {
+
+Network::Network(std::string name, Shape3 input)
+    : name_(std::move(name)), input_(input), current_(input) {
+  LOOM_EXPECTS(input.c > 0 && input.h > 0 && input.w > 0);
+}
+
+Layer& Network::add_conv(const std::string& name, int out_channels, int kernel,
+                         int stride, int pad, int groups) {
+  layers_.push_back(
+      make_conv(name, current_, out_channels, kernel, stride, pad, groups));
+  current_ = layers_.back().out;
+  return layers_.back();
+}
+
+Layer& Network::add_conv_branch(const std::string& name, Shape3 in,
+                                int out_channels, int kernel, int stride,
+                                int pad) {
+  layers_.push_back(make_conv(name, in, out_channels, kernel, stride, pad));
+  return layers_.back();
+}
+
+Layer& Network::add_fc(const std::string& name, int out_features) {
+  layers_.push_back(make_fc(name, current_, out_features));
+  current_ = layers_.back().out;
+  return layers_.back();
+}
+
+Layer& Network::add_pool(const std::string& name, PoolKind pool, int kernel,
+                         int stride, int pad) {
+  layers_.push_back(make_pool(name, current_, pool, kernel, stride, pad));
+  current_ = layers_.back().out;
+  return layers_.back();
+}
+
+const Layer& Network::layer(std::size_t i) const {
+  LOOM_EXPECTS(i < layers_.size());
+  return layers_[i];
+}
+
+std::vector<std::size_t> Network::conv_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].kind == LayerKind::kConv) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Network::fc_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].kind == LayerKind::kFullyConnected) out.push_back(i);
+  }
+  return out;
+}
+
+int Network::conv_precision_groups() const {
+  int max_group = -1;
+  for (const Layer& l : layers_) {
+    if (l.kind == LayerKind::kConv) max_group = std::max(max_group, l.precision_group);
+  }
+  return max_group + 1;
+}
+
+std::int64_t Network::conv_macs() const {
+  std::int64_t n = 0;
+  for (const Layer& l : layers_) {
+    if (l.kind == LayerKind::kConv) n += l.macs();
+  }
+  return n;
+}
+
+std::int64_t Network::fc_macs() const {
+  std::int64_t n = 0;
+  for (const Layer& l : layers_) {
+    if (l.kind == LayerKind::kFullyConnected) n += l.macs();
+  }
+  return n;
+}
+
+std::int64_t Network::total_macs() const { return conv_macs() + fc_macs(); }
+
+std::int64_t Network::total_weights() const {
+  std::int64_t n = 0;
+  for (const Layer& l : layers_) n += l.weight_count();
+  return n;
+}
+
+std::int64_t Network::peak_activation_values() const {
+  std::int64_t peak = 0;
+  for (const Layer& l : layers_) {
+    if (!l.has_weights()) continue;
+    peak = std::max(peak, l.in.elements() + l.out.elements());
+  }
+  return peak;
+}
+
+}  // namespace loom::nn

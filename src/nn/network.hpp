@@ -1,0 +1,72 @@
+// A network is an ordered list of layers with chained shape inference plus
+// the bookkeeping the simulators need (weighted layer indices, precision
+// groups). Branching topologies (inception modules) are flattened: each
+// branch convolution appears as its own layer whose input volume is the
+// module input, which is exactly what the cycle model needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace loom::nn {
+
+class Network {
+ public:
+  Network(std::string name, Shape3 input);
+
+  /// Append a conv layer consuming the current output volume.
+  Layer& add_conv(const std::string& name, int out_channels, int kernel,
+                  int stride = 1, int pad = 0, int groups = 1);
+
+  /// Append a conv layer with an explicit input volume (inception branches
+  /// that all read the same module input). Does not advance the current
+  /// volume; call `set_current` to continue from the concatenated output.
+  Layer& add_conv_branch(const std::string& name, Shape3 in, int out_channels,
+                         int kernel, int stride = 1, int pad = 0);
+
+  Layer& add_fc(const std::string& name, int out_features);
+  Layer& add_pool(const std::string& name, PoolKind pool, int kernel,
+                  int stride, int pad = 0);
+
+  /// Override the current activation volume (after a flattened module).
+  void set_current(Shape3 v) { current_ = v; }
+  [[nodiscard]] Shape3 current() const noexcept { return current_; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Shape3 input() const noexcept { return input_; }
+
+  [[nodiscard]] const std::vector<Layer>& layers() const noexcept { return layers_; }
+  [[nodiscard]] std::vector<Layer>& layers() noexcept { return layers_; }
+  [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const;
+
+  /// Indices of conv / fully-connected layers, in order.
+  [[nodiscard]] std::vector<std::size_t> conv_indices() const;
+  [[nodiscard]] std::vector<std::size_t> fc_indices() const;
+
+  /// Number of distinct activation-precision groups (= profile entries).
+  [[nodiscard]] int conv_precision_groups() const;
+
+  /// Total MACs over conv / fc / all weighted layers.
+  [[nodiscard]] std::int64_t conv_macs() const;
+  [[nodiscard]] std::int64_t fc_macs() const;
+  [[nodiscard]] std::int64_t total_macs() const;
+
+  /// Total weight count over all weighted layers.
+  [[nodiscard]] std::int64_t total_weights() const;
+
+  /// Largest input+output activation footprint of any weighted layer,
+  /// in values (drives the on-chip activation-memory sizing of §4.5).
+  [[nodiscard]] std::int64_t peak_activation_values() const;
+
+ private:
+  std::string name_;
+  Shape3 input_;
+  Shape3 current_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace loom::nn

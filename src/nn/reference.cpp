@@ -1,0 +1,128 @@
+#include "nn/reference.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace loom::nn {
+
+WideTensor conv_forward(const Tensor& input, const Tensor& weights,
+                        const Layer& layer) {
+  LOOM_EXPECTS(layer.kind == LayerKind::kConv);
+  LOOM_EXPECTS(input.shape() == (Shape{layer.in.c, layer.in.h, layer.in.w}));
+  LOOM_EXPECTS(weights.elements() == layer.weight_count());
+
+  const std::int64_t cig = layer.group_in_channels();
+  const std::int64_t cog = layer.group_out_channels();
+  const std::int64_t kh = layer.kernel_h;
+  const std::int64_t kw = layer.kernel_w;
+
+  WideTensor out(Shape{layer.out.c, layer.out.h, layer.out.w});
+  for (std::int64_t co = 0; co < layer.out.c; ++co) {
+    const std::int64_t g = co / cog;
+    const std::int64_t ci0 = g * cig;
+    const std::int64_t wbase = co * cig * kh * kw;
+    for (std::int64_t oy = 0; oy < layer.out.h; ++oy) {
+      for (std::int64_t ox = 0; ox < layer.out.w; ++ox) {
+        Wide acc = 0;
+        for (std::int64_t ci = 0; ci < cig; ++ci) {
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t iy = oy * layer.stride + ky - layer.pad;
+            if (iy < 0 || iy >= layer.in.h) continue;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t ix = ox * layer.stride + kx - layer.pad;
+              if (ix < 0 || ix >= layer.in.w) continue;
+              const Wide a = input.at3(ci0 + ci, iy, ix);
+              const Wide w = weights.flat(wbase + (ci * kh + ky) * kw + kx);
+              acc += a * w;
+            }
+          }
+        }
+        out.at3(co, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+WideTensor fc_forward(const Tensor& input, const Tensor& weights,
+                      const Layer& layer) {
+  LOOM_EXPECTS(layer.kind == LayerKind::kFullyConnected);
+  LOOM_EXPECTS(input.elements() == layer.in.elements());
+  LOOM_EXPECTS(weights.elements() == layer.weight_count());
+
+  const std::int64_t ci = layer.in.elements();
+  WideTensor out(Shape{layer.out.c, 1, 1});
+  for (std::int64_t co = 0; co < layer.out.c; ++co) {
+    Wide acc = 0;
+    const std::int64_t wbase = co * ci;
+    for (std::int64_t i = 0; i < ci; ++i) {
+      acc += static_cast<Wide>(input.flat(i)) * weights.flat(wbase + i);
+    }
+    out.set_flat(co, acc);
+  }
+  return out;
+}
+
+Tensor pool_forward(const Tensor& input, const Layer& layer) {
+  LOOM_EXPECTS(layer.kind == LayerKind::kPool);
+  LOOM_EXPECTS(input.shape() == (Shape{layer.in.c, layer.in.h, layer.in.w}));
+
+  Tensor out(Shape{layer.out.c, layer.out.h, layer.out.w});
+  for (std::int64_t c = 0; c < layer.out.c; ++c) {
+    for (std::int64_t oy = 0; oy < layer.out.h; ++oy) {
+      for (std::int64_t ox = 0; ox < layer.out.w; ++ox) {
+        Wide acc = layer.pool == PoolKind::kMax
+                       ? std::numeric_limits<Value>::min()
+                       : 0;
+        std::int64_t n = 0;
+        for (std::int64_t ky = 0; ky < layer.kernel_h; ++ky) {
+          const std::int64_t iy = oy * layer.stride + ky - layer.pad;
+          if (iy < 0 || iy >= layer.in.h) continue;
+          for (std::int64_t kx = 0; kx < layer.kernel_w; ++kx) {
+            const std::int64_t ix = ox * layer.stride + kx - layer.pad;
+            if (ix < 0 || ix >= layer.in.w) continue;
+            const Value v = input.at3(c, iy, ix);
+            if (layer.pool == PoolKind::kMax) {
+              acc = std::max<Wide>(acc, v);
+            } else {
+              acc += v;
+            }
+            ++n;
+          }
+        }
+        if (layer.pool == PoolKind::kAvg && n > 0) acc /= n;
+        out.at3(c, oy, ox) = static_cast<Value>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor requantize(const WideTensor& acc, int shift, int out_bits, bool relu) {
+  LOOM_EXPECTS(shift >= 0 && out_bits >= 1 && out_bits <= kBasePrecision);
+  Tensor out(acc.shape());
+  const std::int64_t n = acc.elements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    Wide v = acc.flat(i) >> shift;
+    if (relu && v < 0) v = 0;
+    out.set_flat(i, static_cast<Value>(saturate_signed(v, out_bits)));
+  }
+  return out;
+}
+
+int choose_requant_shift(const WideTensor& acc, int out_bits) {
+  LOOM_EXPECTS(out_bits >= 1 && out_bits <= kBasePrecision);
+  Wide peak = 0;
+  for (std::int64_t i = 0; i < acc.elements(); ++i) {
+    peak = std::max<Wide>(peak, std::abs(acc.flat(i)));
+  }
+  int shift = 0;
+  const Wide limit = (Wide{1} << (out_bits - 1)) - 1;
+  while ((peak >> shift) > limit) ++shift;
+  return shift;
+}
+
+}  // namespace loom::nn

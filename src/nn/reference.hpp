@@ -1,0 +1,33 @@
+// Golden bit-parallel reference execution. This is the semantic ground
+// truth: the bit-serial datapath (arch/sip) and both simulators' functional
+// modes are validated against these exact integer results.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+
+namespace loom::nn {
+
+/// Exact integer convolution. `input` is CHW, `weights` is flat
+/// [Co][Ci/g][Kh][Kw]; zero padding; supports grouped convolution.
+[[nodiscard]] WideTensor conv_forward(const Tensor& input, const Tensor& weights,
+                                      const Layer& layer);
+
+/// Exact integer fully-connected layer. `weights` is flat [Co][Ci].
+[[nodiscard]] WideTensor fc_forward(const Tensor& input, const Tensor& weights,
+                                    const Layer& layer);
+
+/// Max/average pooling on quantized activations.
+[[nodiscard]] Tensor pool_forward(const Tensor& input, const Layer& layer);
+
+/// Requantize wide accumulators back to `out_bits` fixed point: arithmetic
+/// right shift by `shift`, optional ReLU, then signed saturation. This
+/// models the activation functional unit at ABout's output.
+[[nodiscard]] Tensor requantize(const WideTensor& acc, int shift, int out_bits,
+                                bool relu);
+
+/// Pick a right-shift that brings the accumulator range of `acc` into
+/// `out_bits` signed bits (profile-style rescaling used by the examples).
+[[nodiscard]] int choose_requant_shift(const WideTensor& acc, int out_bits);
+
+}  // namespace loom::nn

@@ -1,0 +1,23 @@
+// AlexNet (Krizhevsky et al., Caffe bvlc_alexnet geometry): five
+// convolutions (conv2/4/5 grouped) and three fully-connected layers.
+#include "nn/zoo/zoo.hpp"
+
+namespace loom::nn::zoo {
+
+Network make_alexnet() {
+  Network net("alexnet", Shape3{3, 227, 227});
+  net.add_conv("conv1", 96, /*kernel=*/11, /*stride=*/4, /*pad=*/0).precision_group = 0;
+  net.add_pool("pool1", PoolKind::kMax, 3, 2);
+  net.add_conv("conv2", 256, 5, 1, 2, /*groups=*/2).precision_group = 1;
+  net.add_pool("pool2", PoolKind::kMax, 3, 2);
+  net.add_conv("conv3", 384, 3, 1, 1).precision_group = 2;
+  net.add_conv("conv4", 384, 3, 1, 1, /*groups=*/2).precision_group = 3;
+  net.add_conv("conv5", 256, 3, 1, 1, /*groups=*/2).precision_group = 4;
+  net.add_pool("pool5", PoolKind::kMax, 3, 2);
+  net.add_fc("fc6", 4096);
+  net.add_fc("fc7", 4096);
+  net.add_fc("fc8", 1000);
+  return net;
+}
+
+}  // namespace loom::nn::zoo

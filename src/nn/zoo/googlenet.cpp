@@ -1,0 +1,61 @@
+// GoogLeNet (Szegedy et al.): stem convolutions plus nine inception
+// modules and one fully-connected classifier. Branch convolutions are
+// flattened into individual layers that read the module input volume;
+// every layer of a module shares one precision group, matching the
+// 11-entry activation-precision profile of the paper's Table 1
+// (conv1, conv2, and modules 3a-5b).
+#include "nn/zoo/zoo.hpp"
+
+namespace loom::nn::zoo {
+
+namespace {
+
+/// Appends one inception module reading `in`; returns the output volume.
+/// Branches: 1x1; 1x1 reduce -> 3x3; 1x1 reduce -> 5x5; pool -> 1x1 proj.
+Shape3 add_inception(Network& net, const std::string& name, Shape3 in, int group,
+                     int c1, int c3r, int c3, int c5r, int c5, int cp) {
+  net.add_conv_branch(name + "/1x1", in, c1, 1, 1, 0).precision_group = group;
+  net.add_conv_branch(name + "/3x3_reduce", in, c3r, 1, 1, 0).precision_group = group;
+  const Shape3 r3{c3r, in.h, in.w};
+  net.add_conv_branch(name + "/3x3", r3, c3, 3, 1, 1).precision_group = group;
+  net.add_conv_branch(name + "/5x5_reduce", in, c5r, 1, 1, 0).precision_group = group;
+  const Shape3 r5{c5r, in.h, in.w};
+  net.add_conv_branch(name + "/5x5", r5, c5, 5, 1, 2).precision_group = group;
+  net.add_conv_branch(name + "/pool_proj", in, cp, 1, 1, 0).precision_group = group;
+  const Shape3 out{c1 + c3 + c5 + cp, in.h, in.w};
+  net.set_current(out);
+  return out;
+}
+
+}  // namespace
+
+Network make_googlenet() {
+  Network net("googlenet", Shape3{3, 224, 224});
+  net.add_conv("conv1/7x7_s2", 64, 7, 2, 3).precision_group = 0;
+  net.add_pool("pool1", PoolKind::kMax, 3, 2);
+  net.add_conv("conv2/3x3_reduce", 64, 1, 1, 0).precision_group = 1;
+  net.add_conv("conv2/3x3", 192, 3, 1, 1).precision_group = 1;
+  net.add_pool("pool2", PoolKind::kMax, 3, 2);
+
+  Shape3 v = net.current();  // 192 x 28 x 28
+  v = add_inception(net, "inception_3a", v, 2, 64, 96, 128, 16, 32, 32);
+  v = add_inception(net, "inception_3b", v, 3, 128, 128, 192, 32, 96, 64);
+  v = Shape3{v.c, (v.h - 3 + 1) / 2 + 1, (v.w - 3 + 1) / 2 + 1};  // maxpool 3/2 ceil
+  net.set_current(v);
+  v = add_inception(net, "inception_4a", v, 4, 192, 96, 208, 16, 48, 64);
+  v = add_inception(net, "inception_4b", v, 5, 160, 112, 224, 24, 64, 64);
+  v = add_inception(net, "inception_4c", v, 6, 128, 128, 256, 24, 64, 64);
+  v = add_inception(net, "inception_4d", v, 7, 112, 144, 288, 32, 64, 64);
+  v = add_inception(net, "inception_4e", v, 8, 256, 160, 320, 32, 128, 128);
+  v = Shape3{v.c, (v.h - 3 + 1) / 2 + 1, (v.w - 3 + 1) / 2 + 1};
+  net.set_current(v);
+  v = add_inception(net, "inception_5a", v, 9, 256, 160, 320, 32, 128, 128);
+  v = add_inception(net, "inception_5b", v, 10, 384, 192, 384, 48, 128, 128);
+
+  // Global average pool to 1x1 then the single classifier FCL.
+  net.set_current(Shape3{v.c, 1, 1});
+  net.add_fc("loss3/classifier", 1000);
+  return net;
+}
+
+}  // namespace loom::nn::zoo

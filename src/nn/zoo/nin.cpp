@@ -1,0 +1,32 @@
+// Network-in-Network (Lin et al., ImageNet variant): twelve convolutions
+// (four spatial convs each followed by two 1x1 "cccp" layers); no
+// fully-connected layers — classification happens via the final 1x1 conv
+// and global average pooling, which is why the paper's FCL tables list NiN
+// as n/a.
+#include "nn/zoo/zoo.hpp"
+
+namespace loom::nn::zoo {
+
+Network make_nin() {
+  Network net("nin", Shape3{3, 224, 224});
+  int g = 0;
+  net.add_conv("conv1", 96, 11, 4, 0).precision_group = g++;
+  net.add_conv("cccp1", 96, 1, 1, 0).precision_group = g++;
+  net.add_conv("cccp2", 96, 1, 1, 0).precision_group = g++;
+  net.add_pool("pool1", PoolKind::kMax, 3, 2);
+  net.add_conv("conv2", 256, 5, 1, 2).precision_group = g++;
+  net.add_conv("cccp3", 256, 1, 1, 0).precision_group = g++;
+  net.add_conv("cccp4", 256, 1, 1, 0).precision_group = g++;
+  net.add_pool("pool2", PoolKind::kMax, 3, 2);
+  net.add_conv("conv3", 384, 3, 1, 1).precision_group = g++;
+  net.add_conv("cccp5", 384, 1, 1, 0).precision_group = g++;
+  net.add_conv("cccp6", 384, 1, 1, 0).precision_group = g++;
+  net.add_pool("pool3", PoolKind::kMax, 3, 2);
+  net.add_conv("conv4", 1024, 3, 1, 1).precision_group = g++;
+  net.add_conv("cccp7", 1024, 1, 1, 0).precision_group = g++;
+  net.add_conv("cccp8", 1000, 1, 1, 0).precision_group = g++;
+  net.add_pool("pool4", PoolKind::kAvg, 6, 1);
+  return net;
+}
+
+}  // namespace loom::nn::zoo

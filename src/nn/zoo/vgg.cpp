@@ -1,0 +1,63 @@
+// The three VGG-family networks the paper evaluates:
+//  * VGG-S and VGG-M: Chatfield et al.'s "Return of the Devil" CNN-S/CNN-M
+//    (five convolutions, three fully-connected layers).
+//  * VGG-19: Simonyan & Zisserman configuration E (sixteen convolutions,
+//    three fully-connected layers).
+#include "nn/zoo/zoo.hpp"
+
+namespace loom::nn::zoo {
+
+Network make_vggs() {
+  Network net("vggs", Shape3{3, 224, 224});
+  net.add_conv("conv1", 96, 7, 2, 0).precision_group = 0;
+  net.add_pool("pool1", PoolKind::kMax, 3, 3);
+  net.add_conv("conv2", 256, 5, 1, 1).precision_group = 1;
+  net.add_pool("pool2", PoolKind::kMax, 2, 2);
+  net.add_conv("conv3", 512, 3, 1, 1).precision_group = 2;
+  net.add_conv("conv4", 512, 3, 1, 1).precision_group = 3;
+  net.add_conv("conv5", 512, 3, 1, 1).precision_group = 4;
+  net.add_pool("pool5", PoolKind::kMax, 3, 3);
+  net.add_fc("fc6", 4096);
+  net.add_fc("fc7", 4096);
+  net.add_fc("fc8", 1000);
+  return net;
+}
+
+Network make_vggm() {
+  Network net("vggm", Shape3{3, 224, 224});
+  net.add_conv("conv1", 96, 7, 2, 0).precision_group = 0;
+  net.add_pool("pool1", PoolKind::kMax, 3, 2);
+  net.add_conv("conv2", 256, 5, 2, 1).precision_group = 1;
+  net.add_pool("pool2", PoolKind::kMax, 3, 2);
+  net.add_conv("conv3", 512, 3, 1, 1).precision_group = 2;
+  net.add_conv("conv4", 512, 3, 1, 1).precision_group = 3;
+  net.add_conv("conv5", 512, 3, 1, 1).precision_group = 4;
+  net.add_pool("pool5", PoolKind::kMax, 3, 2);
+  net.add_fc("fc6", 4096);
+  net.add_fc("fc7", 4096);
+  net.add_fc("fc8", 1000);
+  return net;
+}
+
+Network make_vgg19() {
+  Network net("vgg19", Shape3{3, 224, 224});
+  int g = 0;
+  auto block = [&](int count, int channels, const std::string& prefix) {
+    for (int i = 1; i <= count; ++i) {
+      net.add_conv(prefix + "_" + std::to_string(i), channels, 3, 1, 1)
+          .precision_group = g++;
+    }
+    net.add_pool("pool_" + prefix, PoolKind::kMax, 2, 2);
+  };
+  block(2, 64, "conv1");
+  block(2, 128, "conv2");
+  block(4, 256, "conv3");
+  block(4, 512, "conv4");
+  block(4, 512, "conv5");
+  net.add_fc("fc6", 4096);
+  net.add_fc("fc7", 4096);
+  net.add_fc("fc8", 1000);
+  return net;
+}
+
+}  // namespace loom::nn::zoo

@@ -1,0 +1,23 @@
+#include "nn/zoo/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::nn::zoo {
+
+const std::vector<std::string>& paper_networks() {
+  static const std::vector<std::string> names = {
+      "nin", "alexnet", "googlenet", "vggs", "vggm", "vgg19"};
+  return names;
+}
+
+Network make(const std::string& name) {
+  if (name == "alexnet") return make_alexnet();
+  if (name == "nin") return make_nin();
+  if (name == "googlenet") return make_googlenet();
+  if (name == "vggs") return make_vggs();
+  if (name == "vggm") return make_vggm();
+  if (name == "vgg19") return make_vgg19();
+  throw ConfigError("unknown zoo network: " + name);
+}
+
+}  // namespace loom::nn::zoo

@@ -1,0 +1,29 @@
+// Model zoo: the six image-classification CNNs the paper evaluates, built
+// with their published geometries. Each conv layer is tagged with a
+// `precision_group` matching the corresponding entry of the paper's Table 1
+// activation-precision list (GoogLeNet's 57 convolutions collapse into 11
+// groups: conv1, conv2(reduce+3x3), and the nine inception modules).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace loom::nn::zoo {
+
+[[nodiscard]] Network make_alexnet();
+[[nodiscard]] Network make_nin();
+[[nodiscard]] Network make_googlenet();
+[[nodiscard]] Network make_vggs();
+[[nodiscard]] Network make_vggm();
+[[nodiscard]] Network make_vgg19();
+
+/// Names of the networks the paper evaluates, in the paper's table order.
+[[nodiscard]] const std::vector<std::string>& paper_networks();
+
+/// Build a zoo network by name ("nin", "alexnet", "googlenet", "vggs",
+/// "vggm", "vgg19"); throws ConfigError for unknown names.
+[[nodiscard]] Network make(const std::string& name);
+
+}  // namespace loom::nn::zoo

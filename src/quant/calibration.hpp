@@ -1,0 +1,44 @@
+// Distribution calibration: choose the concentration exponent `alpha` of a
+// SyntheticSpec so the mean per-group effective precision of the generated
+// values hits a target. This is how the synthetic workloads are made to
+// reproduce the published precision behaviour (Table 3's effective weight
+// precisions and the dynamic activation trims implied by Table 2).
+//
+// Mean group precision is monotonically non-increasing in alpha (larger
+// alpha concentrates magnitudes toward zero), so a bisection on log(alpha)
+// against a deterministic Monte-Carlo estimate converges quickly.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/synthetic.hpp"
+
+namespace loom::quant {
+
+struct CalibrationOptions {
+  int group_size = 16;          ///< group over which effective precision is taken
+  std::int64_t sample_groups = 16384;  ///< Monte-Carlo sample size
+  double tolerance = 0.04;      ///< acceptable |measured - target| in bits
+  int max_iterations = 48;
+  std::uint64_t seed = 0xCA11B8A7E5EEDull;
+};
+
+/// Measured mean group precision for a given spec (MC estimate).
+[[nodiscard]] double measure_mean_group_precision(const nn::SyntheticSpec& spec,
+                                                  const CalibrationOptions& opts);
+
+/// Find alpha such that the mean per-group precision of values with profile
+/// precision `spec.precision` is ~`target_mean_precision`. Returns the
+/// calibrated spec (alpha filled in). Targets above the achievable range
+/// clamp to alpha = 1; targets at/below 1 bit clamp to the maximum alpha.
+[[nodiscard]] nn::SyntheticSpec calibrate_to_group_precision(
+    nn::SyntheticSpec spec, double target_mean_precision,
+    const CalibrationOptions& opts = {});
+
+/// Process-wide memoization of calibrations (keyed by spec fields, group
+/// size and target); the zoo networks share many (precision, target) pairs.
+[[nodiscard]] const nn::SyntheticSpec& calibrated_spec_cached(
+    int precision, bool is_signed, double zero_fraction, int group_size,
+    double target_mean_precision);
+
+}  // namespace loom::quant

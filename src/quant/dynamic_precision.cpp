@@ -1,0 +1,32 @@
+#include "quant/dynamic_precision.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::quant {
+
+std::vector<int> per_group_precisions(std::span<const Value> values,
+                                      int group_size, bool is_signed) {
+  LOOM_EXPECTS(group_size > 0);
+  std::vector<int> out;
+  out.reserve((values.size() + static_cast<std::size_t>(group_size) - 1) /
+              static_cast<std::size_t>(group_size));
+  for (std::size_t i = 0; i < values.size(); i += static_cast<std::size_t>(group_size)) {
+    const std::size_t n =
+        std::min<std::size_t>(static_cast<std::size_t>(group_size), values.size() - i);
+    const auto group = values.subspan(i, n);
+    out.push_back(is_signed ? group_precision_signed(group)
+                            : group_precision_unsigned(group));
+  }
+  return out;
+}
+
+double mean_group_precision(std::span<const Value> values, int group_size,
+                            bool is_signed) {
+  const std::vector<int> ps = per_group_precisions(values, group_size, is_signed);
+  if (ps.empty()) return 0.0;
+  double acc = 0.0;
+  for (const int p : ps) acc += p;
+  return acc / static_cast<double>(ps.size());
+}
+
+}  // namespace loom::quant

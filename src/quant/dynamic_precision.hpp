@@ -1,0 +1,51 @@
+// Dynamic precision reduction (Lascorz et al. [5]).
+//
+// The hardware inspects the group of activations it is about to process
+// concurrently: per-bit-position OR trees produce a 16-bit vector of the
+// positions where any activation has a one, and a leading-one detector
+// reports the sufficient precision. We model the unit functionally and
+// count its invocations for the energy model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace loom::quant {
+
+/// Functional model of the per-group precision detector.
+class PrecisionDetector {
+ public:
+  /// Precision sufficient for a group of non-negative activations.
+  /// Equivalent to OR-reducing the group and finding the leading one.
+  [[nodiscard]] int detect_unsigned(std::span<const Value> group) noexcept {
+    ++invocations_;
+    return group_precision_unsigned(group);
+  }
+
+  /// Precision sufficient for a group of two's-complement weights.
+  [[nodiscard]] int detect_signed(std::span<const Value> group) noexcept {
+    ++invocations_;
+    return group_precision_signed(group);
+  }
+
+  [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+  void reset() noexcept { invocations_ = 0; }
+
+ private:
+  std::uint64_t invocations_ = 0;
+};
+
+/// Per-group precisions over a flat value range (group = consecutive run of
+/// `group_size` values; the final partial group is processed as-is).
+[[nodiscard]] std::vector<int> per_group_precisions(std::span<const Value> values,
+                                                    int group_size, bool is_signed);
+
+/// Mean of per_group_precisions (the "effective precision" statistic of
+/// Lascorz et al. [10] and the paper's Table 3).
+[[nodiscard]] double mean_group_precision(std::span<const Value> values,
+                                          int group_size, bool is_signed);
+
+}  // namespace loom::quant

@@ -1,0 +1,76 @@
+// Per-group precision metadata (§4.6): when per-group weight precisions are
+// detected statically, they must be "communicated via per group metadata"
+// alongside the packed weights. This codec packs 4-bit precision codes per
+// group (16 encodes as 0), accounts for the storage overhead, and computes
+// the net footprint win of per-group packing vs per-layer packing — the
+// feasibility side of the Table 4 estimate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "nn/synthetic.hpp"
+
+namespace loom::quant {
+
+/// Encoded per-group precisions: 4 bits per group.
+class GroupMetadata {
+ public:
+  GroupMetadata() = default;
+
+  /// Encode the per-group signed precisions of `count` values streamed from
+  /// `source`, in groups of `group_size`.
+  static GroupMetadata encode(const nn::SyntheticSource& source,
+                              std::int64_t count, int group_size);
+
+  /// Encode from explicit values.
+  static GroupMetadata encode_values(std::span<const Value> values,
+                                     int group_size);
+
+  [[nodiscard]] int group_precision(std::int64_t group) const;
+  [[nodiscard]] std::int64_t groups() const noexcept {
+    return static_cast<std::int64_t>(codes_.size());
+  }
+  [[nodiscard]] int group_size() const noexcept { return group_size_; }
+
+  /// Metadata storage: 4 bits per group.
+  [[nodiscard]] std::int64_t metadata_bits() const noexcept {
+    return groups() * 4;
+  }
+
+  /// Bits to store the values packed per group at their detected precision.
+  [[nodiscard]] std::int64_t packed_value_bits() const noexcept;
+
+  /// Total footprint including metadata.
+  [[nodiscard]] std::int64_t total_bits() const noexcept {
+    return packed_value_bits() + metadata_bits();
+  }
+
+  /// Average effective precision implied by the codes.
+  [[nodiscard]] double mean_precision() const noexcept;
+
+ private:
+  int group_size_ = 16;
+  std::vector<std::uint8_t> codes_;  // 1..16 (stored directly)
+};
+
+/// Footprint comparison for one weight tensor: baseline 16-bit layout,
+/// per-layer packing at `layer_precision`, and per-group packing with
+/// metadata.
+struct FootprintReport {
+  std::int64_t values = 0;
+  std::int64_t baseline_bits = 0;
+  std::int64_t per_layer_bits = 0;
+  std::int64_t per_group_bits = 0;  ///< including metadata
+  double per_layer_ratio = 1.0;     ///< baseline / per_layer
+  double per_group_ratio = 1.0;     ///< baseline / per_group
+};
+
+[[nodiscard]] FootprintReport weight_footprint(const nn::SyntheticSource& source,
+                                               std::int64_t count,
+                                               int layer_precision,
+                                               int group_size = 16);
+
+}  // namespace loom::quant

@@ -1,0 +1,139 @@
+#include "quant/profiles.hpp"
+
+#include <map>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace loom::quant {
+
+std::string to_string(AccuracyTarget target) {
+  return target == AccuracyTarget::k100 ? "100%" : "99%";
+}
+
+namespace {
+
+using Key = std::pair<std::string, AccuracyTarget>;
+
+// Dynamic activation trims (bits below the static profile that per-group
+// runtime detection removes on average). Derived from the paper's Table 2:
+// the LM1b conv speedups imply average effective Pa = 256/(speedup * Pw);
+// the trim is the gap between the work-weighted static profile and that
+// implied effective precision. See EXPERIMENTS.md for the derivation.
+constexpr double kTrimNiN = 1.4;
+constexpr double kTrimAlexNet = 2.1;
+constexpr double kTrimGoogLeNet = 2.9;
+constexpr double kTrimVggS = 2.9;
+constexpr double kTrimVggM = 2.5;
+constexpr double kTrimVgg19 = 2.9;
+
+const std::map<Key, PrecisionProfile>& table1() {
+  static const std::map<Key, PrecisionProfile> profiles = [] {
+    std::map<Key, PrecisionProfile> m;
+    auto put = [&m](std::string net, AccuracyTarget t, std::vector<int> act,
+                    int w, std::vector<int> fc, double trim) {
+      PrecisionProfile p;
+      p.network = net;
+      p.target = t;
+      p.conv_act = std::move(act);
+      p.conv_weight = w;
+      p.fc_weight = std::move(fc);
+      p.dynamic_act_trim = trim;
+      m.emplace(Key{std::move(net), t}, std::move(p));
+    };
+    using T = AccuracyTarget;
+    // --- Table 1, 100% relative top-1 accuracy ---
+    put("nin", T::k100, {8, 8, 8, 9, 7, 8, 8, 9, 9, 8, 8, 8}, 11, {}, kTrimNiN);
+    put("alexnet", T::k100, {9, 8, 5, 5, 7}, 11, {10, 9, 9}, kTrimAlexNet);
+    put("googlenet", T::k100, {10, 8, 10, 9, 8, 10, 9, 8, 9, 10, 7}, 11, {7},
+        kTrimGoogLeNet);
+    put("vggs", T::k100, {7, 8, 9, 7, 9}, 12, {10, 9, 9}, kTrimVggS);
+    put("vggm", T::k100, {7, 7, 7, 8, 7}, 12, {10, 8, 8}, kTrimVggM);
+    put("vgg19", T::k100,
+        {12, 12, 12, 11, 12, 10, 11, 11, 13, 12, 13, 13, 13, 13, 13, 13}, 12,
+        {10, 9, 9}, kTrimVgg19);
+    // --- Table 1, 99% relative top-1 accuracy ---
+    put("nin", T::k99, {8, 8, 7, 9, 7, 8, 8, 9, 9, 8, 7, 8}, 10, {}, kTrimNiN);
+    put("alexnet", T::k99, {9, 7, 4, 5, 7}, 11, {9, 8, 8}, kTrimAlexNet);
+    put("googlenet", T::k99, {10, 8, 9, 8, 8, 9, 10, 8, 9, 10, 8}, 10, {7},
+        kTrimGoogLeNet);
+    put("vggs", T::k99, {7, 8, 9, 7, 9}, 11, {9, 9, 8}, kTrimVggS);
+    put("vggm", T::k99, {6, 8, 7, 7, 7}, 12, {9, 8, 8}, kTrimVggM);
+    put("vgg19", T::k99,
+        {9, 9, 9, 8, 12, 10, 10, 12, 13, 11, 12, 13, 13, 13, 13, 13}, 12,
+        {10, 9, 8}, kTrimVgg19);
+    return m;
+  }();
+  return profiles;
+}
+
+const std::map<std::string, std::vector<double>>& table3() {
+  static const std::map<std::string, std::vector<double>> m = {
+      {"nin",
+       {8.85, 10.29, 10.21, 7.65, 9.13, 9.04, 7.63, 8.65, 8.62, 7.79, 7.96,
+        8.18}},
+      {"alexnet", {8.36, 7.62, 7.62, 7.44, 7.55}},
+      {"googlenet",
+       {6.19, 5.75, 6.80, 6.28, 5.34, 6.70, 6.31, 5.02, 5.49, 7.89, 4.83}},
+      {"vggs", {9.94, 6.96, 8.53, 8.13, 8.10}},
+      {"vggm", {9.87, 7.55, 8.52, 8.16, 8.14}},
+      {"vgg19",
+       {10.98, 9.81, 9.31, 9.09, 8.58, 8.04, 7.89, 7.86, 7.51, 7.20, 7.36,
+        7.47, 7.61, 7.66, 7.66, 7.63}},
+  };
+  return m;
+}
+
+}  // namespace
+
+const PrecisionProfile& profile_for(const std::string& network,
+                                    AccuracyTarget target) {
+  const auto it = table1().find(Key{network, target});
+  if (it == table1().end()) {
+    throw ConfigError("no precision profile for network: " + network);
+  }
+  return it->second;
+}
+
+const std::vector<double>& effective_weight_precisions(
+    const std::string& network) {
+  const auto* found = maybe_effective_weight_precisions(network);
+  if (found == nullptr) {
+    throw ConfigError("no effective weight precisions for network: " + network);
+  }
+  return *found;
+}
+
+const std::vector<double>* maybe_effective_weight_precisions(
+    const std::string& network) {
+  const auto it = table3().find(network);
+  return it == table3().end() ? nullptr : &it->second;
+}
+
+void apply_profile(nn::Network& net, const PrecisionProfile& profile) {
+  std::size_t fc_index = 0;
+  for (nn::Layer& l : net.layers()) {
+    switch (l.kind) {
+      case nn::LayerKind::kConv: {
+        LOOM_EXPECTS(l.precision_group >= 0 &&
+                     l.precision_group < static_cast<int>(profile.conv_act.size()));
+        l.act_precision = profile.conv_act[static_cast<std::size_t>(l.precision_group)];
+        l.weight_precision = profile.conv_weight;
+        break;
+      }
+      case nn::LayerKind::kFullyConnected: {
+        LOOM_EXPECTS(fc_index < profile.fc_weight.size());
+        // FCLs stream the full 16 activation bits (weight loading is the
+        // bottleneck; see §3.2), but weights use the profiled precision.
+        l.act_precision = kBasePrecision;
+        l.weight_precision = profile.fc_weight[fc_index++];
+        break;
+      }
+      case nn::LayerKind::kPool:
+        break;
+    }
+  }
+  LOOM_ENSURES(fc_index == profile.fc_weight.size());
+}
+
+}  // namespace loom::quant

@@ -1,0 +1,63 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace loom::quant {
+
+Value clip_signed(std::int32_t v, int bits) noexcept {
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+  const std::int32_t lo = -(1 << (bits - 1));
+  return static_cast<Value>(std::clamp(v, lo, hi));
+}
+
+Value clip_unsigned(std::int32_t v, int bits) noexcept {
+  const std::int32_t hi = (1 << bits) - 1;
+  return static_cast<Value>(std::clamp(v, 0, hi));
+}
+
+Quantized quantize_signed(std::span<const float> values, int bits) {
+  LOOM_EXPECTS(bits >= 2 && bits <= kBasePrecision);
+  float peak = 0.0f;
+  for (const float v : values) peak = std::max(peak, std::abs(v));
+  // Choose scale_exp so peak maps just inside the representable range.
+  int scale_exp = 0;
+  if (peak > 0.0f) {
+    const double limit = static_cast<double>((1 << (bits - 1)) - 1);
+    scale_exp = static_cast<int>(std::floor(std::log2(limit / peak)));
+  }
+  const double scale = std::ldexp(1.0, scale_exp);
+  Quantized q{nn::Tensor(nn::Shape{static_cast<std::int64_t>(values.size())}),
+              scale_exp};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto fixed =
+        static_cast<std::int32_t>(std::lround(values[i] * scale));
+    q.tensor.set_flat(static_cast<std::int64_t>(i), clip_signed(fixed, bits));
+  }
+  return q;
+}
+
+double clip_mse_signed(const nn::Tensor& t, int bits) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    const Value v = t.flat(i);
+    const double d = static_cast<double>(v) - clip_signed(v, bits);
+    acc += d * d;
+  }
+  return t.elements() ? acc / static_cast<double>(t.elements()) : 0.0;
+}
+
+double clip_mse_unsigned(const nn::Tensor& t, int bits) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    const Value v = t.flat(i);
+    const double d = static_cast<double>(v) -
+                     clip_unsigned(static_cast<std::int32_t>(v), bits);
+    acc += d * d;
+  }
+  return t.elements() ? acc / static_cast<double>(t.elements()) : 0.0;
+}
+
+}  // namespace loom::quant

@@ -1,0 +1,53 @@
+#include "sim/comparison.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace loom::sim {
+
+void Comparison::add_network(NetworkWorkload& workload, Simulator& baseline,
+                             std::vector<Simulator*> archs) {
+  const RunResult base = baseline.run(workload);
+  baseline_runs_.push_back(base);
+
+  for (Simulator* sim : archs) {
+    LOOM_EXPECTS(sim != nullptr);
+    const RunResult run = sim->run(workload);
+    for (const RunResult::Filter f :
+         {RunResult::Filter::kAll, RunResult::Filter::kConv,
+          RunResult::Filter::kFc}) {
+      if (run.cycles(f) == 0) continue;  // e.g. NiN has no FC layers
+      ComparisonEntry e;
+      e.network = workload.network().name();
+      e.arch = run.arch_name;
+      e.perf = speedup_vs(run, base, f);
+      e.eff = efficiency_vs(run, base, f);
+      e.result = run;
+      entries_[f].push_back(std::move(e));
+    }
+  }
+}
+
+const std::vector<ComparisonEntry>& Comparison::entries(
+    RunResult::Filter f) const {
+  static const std::vector<ComparisonEntry> empty;
+  const auto it = entries_.find(f);
+  return it == entries_.end() ? empty : it->second;
+}
+
+Comparison::Geomeans Comparison::geomeans(const std::string& arch,
+                                          RunResult::Filter f) const {
+  std::vector<double> perfs;
+  std::vector<double> effs;
+  for (const ComparisonEntry& e : entries(f)) {
+    if (e.arch != arch) continue;
+    perfs.push_back(e.perf);
+    effs.push_back(e.eff);
+  }
+  Geomeans g;
+  g.perf = geomean(perfs);
+  g.eff = geomean(effs);
+  return g;
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,50 @@
+// Comparison harness: run a set of architectures over a set of networks and
+// tabulate speedup / relative energy efficiency vs the DPNN baseline —
+// the quantities every table and figure of the paper reports.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/result.hpp"
+#include "sim/simulator.hpp"
+
+namespace loom::sim {
+
+struct ComparisonEntry {
+  std::string network;
+  std::string arch;
+  double perf = 0.0;  ///< speedup vs baseline (same filter)
+  double eff = 0.0;   ///< relative energy efficiency vs baseline
+  RunResult result;   ///< the full run, for drill-down
+};
+
+class Comparison {
+ public:
+  /// Run `baseline` and all `archs` over the workload, recording relative
+  /// metrics per filter.
+  void add_network(NetworkWorkload& workload, Simulator& baseline,
+                   std::vector<Simulator*> archs);
+
+  [[nodiscard]] const std::vector<ComparisonEntry>& entries(
+      RunResult::Filter f) const;
+
+  /// Geometric means over networks for one architecture name.
+  struct Geomeans {
+    double perf = 0.0;
+    double eff = 0.0;
+  };
+  [[nodiscard]] Geomeans geomeans(const std::string& arch,
+                                  RunResult::Filter f) const;
+
+  [[nodiscard]] const std::vector<RunResult>& baseline_runs() const noexcept {
+    return baseline_runs_;
+  }
+
+ private:
+  std::map<RunResult::Filter, std::vector<ComparisonEntry>> entries_;
+  std::vector<RunResult> baseline_runs_;
+};
+
+}  // namespace loom::sim

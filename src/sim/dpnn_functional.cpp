@@ -1,0 +1,141 @@
+#include "sim/dpnn_functional.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace loom::sim {
+
+namespace {
+
+Value window_value(const nn::Layer& layer, const nn::Tensor& input,
+                   std::int64_t g, std::int64_t window, std::int64_t flat) {
+  const std::int64_t kh = layer.kernel_h;
+  const std::int64_t kw = layer.kernel_w;
+  const std::int64_t oy = window / layer.out.w;
+  const std::int64_t ox = window % layer.out.w;
+  const std::int64_t ci = flat / (kh * kw);
+  const std::int64_t rem = flat % (kh * kw);
+  const std::int64_t iy = oy * layer.stride + rem / kw - layer.pad;
+  const std::int64_t ix = ox * layer.stride + rem % kw - layer.pad;
+  if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) return 0;
+  return input.at3(g * layer.group_in_channels() + ci, iy, ix);
+}
+
+}  // namespace
+
+FunctionalDpnnEngine::FunctionalDpnnEngine(DpnnFunctionalOptions opts)
+    : opts_(opts) {
+  LOOM_EXPECTS(opts.act_lanes >= 1 && opts.filters >= 1);
+}
+
+DpnnFunctionalRun FunctionalDpnnEngine::run_conv(const nn::Layer& layer,
+                                                 const nn::Tensor& input,
+                                                 const nn::Tensor& weights,
+                                                 int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kConv);
+  DpnnFunctionalRun run;
+  run.name = layer.name;
+  run.wide = nn::WideTensor(nn::Shape{layer.out.c, layer.out.h, layer.out.w});
+
+  const int lanes = opts_.act_lanes;
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t windows = layer.windows();
+  const std::int64_t cog = layer.group_out_channels();
+
+  std::vector<arch::IpUnit> ips(static_cast<std::size_t>(opts_.filters),
+                                arch::IpUnit(lanes));
+  std::vector<Value> acts(static_cast<std::size_t>(lanes));
+  std::vector<Value> wvals(static_cast<std::size_t>(lanes));
+
+  for (std::int64_t g = 0; g < layer.groups; ++g) {
+    const std::int64_t fb_count = ceil_div(cog, opts_.filters);
+    for (std::int64_t fb = 0; fb < fb_count; ++fb) {
+      const std::int64_t f0 = fb * opts_.filters;
+      const std::int64_t filters_used =
+          std::min<std::int64_t>(opts_.filters, cog - f0);
+      for (std::int64_t window = 0; window < windows; ++window) {
+        for (auto& ip : ips) ip.begin_output();
+        for (std::int64_t base = 0; base < inner; base += lanes) {
+          // One cycle: lanes activations broadcast to all IP units.
+          const std::int64_t n = std::min<std::int64_t>(lanes, inner - base);
+          for (std::int64_t l = 0; l < n; ++l) {
+            acts[static_cast<std::size_t>(l)] =
+                window_value(layer, input, g, window, base + l);
+          }
+          std::fill(acts.begin() + static_cast<std::ptrdiff_t>(n), acts.end(), 0);
+          for (std::int64_t f = 0; f < filters_used; ++f) {
+            const std::int64_t co = g * cog + f0 + f;
+            for (std::int64_t l = 0; l < n; ++l) {
+              wvals[static_cast<std::size_t>(l)] =
+                  weights.flat(co * inner + base + l);
+            }
+            std::fill(wvals.begin() + static_cast<std::ptrdiff_t>(n), wvals.end(), 0);
+            ips[static_cast<std::size_t>(f)].cycle(acts, wvals);
+          }
+          ++run.cycles;
+        }
+        for (std::int64_t f = 0; f < filters_used; ++f) {
+          const std::int64_t co = g * cog + f0 + f;
+          run.wide.at3(co, window / layer.out.w, window % layer.out.w) =
+              ips[static_cast<std::size_t>(f)].output();
+        }
+      }
+    }
+  }
+
+  run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);
+  run.output = nn::requantize(run.wide, run.requant_shift, out_bits, opts_.relu);
+  return run;
+}
+
+DpnnFunctionalRun FunctionalDpnnEngine::run_fc(const nn::Layer& layer,
+                                               const nn::Tensor& input,
+                                               const nn::Tensor& weights,
+                                               int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kFullyConnected);
+  DpnnFunctionalRun run;
+  run.name = layer.name;
+  run.wide = nn::WideTensor(nn::Shape{layer.out.c, 1, 1});
+
+  const int lanes = opts_.act_lanes;
+  const std::int64_t ci = layer.in.elements();
+  std::vector<arch::IpUnit> ips(static_cast<std::size_t>(opts_.filters),
+                                arch::IpUnit(lanes));
+  std::vector<Value> acts(static_cast<std::size_t>(lanes));
+  std::vector<Value> wvals(static_cast<std::size_t>(lanes));
+
+  const std::int64_t fb_count = ceil_div(static_cast<std::int64_t>(layer.out.c),
+                                         opts_.filters);
+  for (std::int64_t fb = 0; fb < fb_count; ++fb) {
+    const std::int64_t f0 = fb * opts_.filters;
+    const std::int64_t filters_used =
+        std::min<std::int64_t>(opts_.filters, layer.out.c - f0);
+    for (auto& ip : ips) ip.begin_output();
+    for (std::int64_t base = 0; base < ci; base += lanes) {
+      const std::int64_t n = std::min<std::int64_t>(lanes, ci - base);
+      for (std::int64_t l = 0; l < n; ++l) {
+        acts[static_cast<std::size_t>(l)] = input.flat(base + l);
+      }
+      std::fill(acts.begin() + static_cast<std::ptrdiff_t>(n), acts.end(), 0);
+      for (std::int64_t f = 0; f < filters_used; ++f) {
+        for (std::int64_t l = 0; l < n; ++l) {
+          wvals[static_cast<std::size_t>(l)] =
+              weights.flat((f0 + f) * ci + base + l);
+        }
+        std::fill(wvals.begin() + static_cast<std::ptrdiff_t>(n), wvals.end(), 0);
+        ips[static_cast<std::size_t>(f)].cycle(acts, wvals);
+      }
+      ++run.cycles;
+    }
+    for (std::int64_t f = 0; f < filters_used; ++f) {
+      run.wide.set_flat(f0 + f, ips[static_cast<std::size_t>(f)].output());
+    }
+  }
+
+  run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);
+  run.output = nn::requantize(run.wide, run.requant_shift, out_bits, opts_.relu);
+  return run;
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,54 @@
+// Functional DPNN engine: the bit-parallel twin of FunctionalLoomEngine.
+// Drives the IP units (16 MACs + adder tree per filter) over real layers,
+// producing exact outputs and the wall-clock cycles of the baseline's
+// window-sequential schedule — the ground truth the DPNN cycle model is
+// cross-validated against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/ip_unit.hpp"
+#include "nn/network.hpp"
+#include "nn/reference.hpp"
+#include "nn/tensor.hpp"
+
+namespace loom::sim {
+
+struct DpnnFunctionalOptions {
+  int act_lanes = 16;
+  int filters = 8;
+  bool relu = true;
+};
+
+struct DpnnFunctionalRun {
+  std::string name;
+  nn::Tensor output;
+  nn::WideTensor wide;
+  std::uint64_t cycles = 0;
+  int requant_shift = 0;
+};
+
+class FunctionalDpnnEngine {
+ public:
+  explicit FunctionalDpnnEngine(DpnnFunctionalOptions opts = {});
+
+  [[nodiscard]] DpnnFunctionalRun run_conv(const nn::Layer& layer,
+                                           const nn::Tensor& input,
+                                           const nn::Tensor& weights,
+                                           int out_bits);
+  [[nodiscard]] DpnnFunctionalRun run_fc(const nn::Layer& layer,
+                                         const nn::Tensor& input,
+                                         const nn::Tensor& weights,
+                                         int out_bits);
+
+  [[nodiscard]] const DpnnFunctionalOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  DpnnFunctionalOptions opts_;
+};
+
+}  // namespace loom::sim

@@ -1,0 +1,135 @@
+#include "sim/dpnn_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mem/bitpacked.hpp"
+
+namespace loom::sim {
+
+namespace {
+/// Multiplier + adder-tree pipeline fill charged once per layer.
+constexpr std::uint64_t kPipelineFill = 6;
+}  // namespace
+
+DpnnSimulator::DpnnSimulator(const arch::DpnnConfig& cfg, const SimOptions& opts)
+    : cfg_(cfg), opts_(opts) {
+  cfg_.validate();
+}
+
+LayerResult DpnnSimulator::simulate_layer(LayerWorkload& lw,
+                                          mem::MemorySystem& mem) const {
+  const nn::Layer& layer = lw.layer();
+  LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.macs = layer.macs();
+  r.mean_act_precision = kBasePrecision;
+  r.mean_weight_precision = kBasePrecision;
+
+  const int lanes = cfg_.act_lanes;
+  const int k = cfg_.filters();
+  std::uint64_t cycles = 0;
+
+  if (layer.kind == nn::LayerKind::kConv) {
+    const std::int64_t windows = layer.windows();
+    const std::int64_t ic_count = ceil_div(layer.inner_length(), lanes);
+    std::uint64_t fb_total = 0;
+    for (int g = 0; g < layer.groups; ++g) {
+      fb_total += static_cast<std::uint64_t>(
+          ceil_div(layer.group_out_channels(), k));
+    }
+    cycles = static_cast<std::uint64_t>(windows) *
+             static_cast<std::uint64_t>(ic_count) * fb_total;
+    // Every cycle: 16 activations broadcast from ABin and k x 16 weights
+    // streamed over the weight bus from WM.
+    r.activity.abin_read_bits = cycles * static_cast<std::uint64_t>(lanes) * 16;
+    r.activity.wm_read_bits =
+        cycles * static_cast<std::uint64_t>(k) * lanes * 16;
+    // Each input activation is refetched from AM into ABin once per filter
+    // block of its conv group.
+    const std::uint64_t am_fetch =
+        static_cast<std::uint64_t>(layer.in.elements() / layer.groups) * 16 *
+        fb_total;
+    r.activity.am_read_bits = am_fetch;
+    r.activity.abin_write_bits = am_fetch;
+  } else {  // fully connected
+    const std::int64_t ic_count = ceil_div(layer.in.elements(), lanes);
+    const std::int64_t fb = ceil_div(static_cast<std::int64_t>(layer.out.c), k);
+    cycles = static_cast<std::uint64_t>(ic_count) * static_cast<std::uint64_t>(fb);
+    r.activity.abin_read_bits = cycles * static_cast<std::uint64_t>(lanes) * 16;
+    r.activity.wm_read_bits =
+        cycles * static_cast<std::uint64_t>(k) * lanes * 16;
+    const std::uint64_t am_fetch =
+        static_cast<std::uint64_t>(layer.in.elements()) * 16 *
+        static_cast<std::uint64_t>(fb);
+    r.activity.am_read_bits = am_fetch;
+    r.activity.abin_write_bits = am_fetch;
+  }
+
+  cycles += kPipelineFill;
+  r.compute_cycles = cycles;
+  r.activity.mac_ops = static_cast<std::uint64_t>(r.macs);
+  r.utilization =
+      static_cast<double>(r.macs) /
+      (static_cast<double>(cycles) * static_cast<double>(cfg_.equiv_macs));
+  const std::uint64_t mac_slots =
+      cycles * static_cast<std::uint64_t>(cfg_.equiv_macs);
+  r.activity.mac_idle_cycles =
+      mac_slots > r.activity.mac_ops ? mac_slots - r.activity.mac_ops : 0;
+
+  // Outputs: accumulate in the IP registers, drain through ABout into AM
+  // at full 16-bit width (the baseline does not pack).
+  const std::uint64_t out_bits =
+      static_cast<std::uint64_t>(layer.out.elements()) * 16;
+  r.activity.about_write_bits = out_bits;
+  r.activity.about_read_bits = out_bits;
+  r.activity.am_write_bits = out_bits;
+
+  if (opts_.model_offchip) {
+    // Weights always stream from off-chip once (16-bit layout); if the
+    // layer's activations do not fit the AM they spill.
+    const std::uint64_t weight_bits = static_cast<std::uint64_t>(
+        mem::parallel_bits(layer.weight_count()));
+    std::uint64_t dram_read = weight_bits;
+    std::uint64_t dram_write = 0;
+    const std::int64_t act_bits =
+        (layer.in.elements() + layer.out.elements()) * 16;
+    if (!mem.activations_fit(act_bits)) {
+      dram_read += static_cast<std::uint64_t>(layer.in.elements()) * 16;
+      dram_write += static_cast<std::uint64_t>(layer.out.elements()) * 16;
+    }
+    r.activity.dram_read_bits = dram_read;
+    r.activity.dram_write_bits = dram_write;
+    const std::uint64_t dram_cycles =
+        mem.offchip_read(dram_read) + mem.offchip_write(dram_write);
+    r.stall_cycles =
+        dram_cycles > r.compute_cycles ? dram_cycles - r.compute_cycles : 0;
+  }
+
+  r.activity.cycles = r.cycles();
+  return r;
+}
+
+RunResult DpnnSimulator::run(NetworkWorkload& workload) {
+  RunResult result;
+  result.arch_name = name();
+  result.network = workload.network().name();
+  result.bits_per_cycle = 1;
+
+  mem::MemorySystemConfig mem_cfg =
+      mem::default_memory_config(cfg_.equiv_macs, /*bit_packed=*/false);
+  mem_cfg.model_offchip = opts_.model_offchip;
+  mem_cfg.dram = opts_.dram;
+  mem::MemorySystem mem(mem_cfg);
+
+  result.area = energy::dpnn_area(cfg_, mem_cfg);
+
+  for (std::size_t i = 0; i < workload.network().size(); ++i) {
+    if (!workload.network().layer(i).has_weights()) continue;
+    result.layers.push_back(simulate_layer(workload.layer(i), mem));
+  }
+  return result;
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,26 @@
+// Cycle model of the bit-parallel baseline (DPNN, Figure 2a): per cycle,
+// `act_lanes` 16-bit activations broadcast to filters() inner-product
+// units. Convolutional layers walk windows sequentially; fully-connected
+// layers walk input chunks x filter blocks.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace loom::sim {
+
+class DpnnSimulator final : public Simulator {
+ public:
+  DpnnSimulator(const arch::DpnnConfig& cfg, const SimOptions& opts);
+
+  [[nodiscard]] std::string name() const override { return cfg_.to_string(); }
+  [[nodiscard]] RunResult run(NetworkWorkload& workload) override;
+
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           mem::MemorySystem& mem) const;
+
+ private:
+  arch::DpnnConfig cfg_;
+  SimOptions opts_;
+};
+
+}  // namespace loom::sim

@@ -1,0 +1,264 @@
+#include "sim/functional.hpp"
+
+#include <algorithm>
+
+#include "arch/tile.hpp"
+#include "common/error.hpp"
+
+namespace loom::sim {
+
+namespace {
+
+/// Gather the window values of one (group, window) at inner positions
+/// [base, base+lanes) with zero padding, matching the im2col order the
+/// cycle model uses.
+std::vector<Value> gather_window_chunk(const nn::Layer& layer,
+                                       const nn::Tensor& input, std::int64_t g,
+                                       std::int64_t window, std::int64_t base,
+                                       int lanes) {
+  std::vector<Value> out;
+  out.reserve(static_cast<std::size_t>(lanes));
+  const std::int64_t kh = layer.kernel_h;
+  const std::int64_t kw = layer.kernel_w;
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t oy = window / layer.out.w;
+  const std::int64_t ox = window % layer.out.w;
+  for (std::int64_t f = base; f < std::min<std::int64_t>(base + lanes, inner); ++f) {
+    const std::int64_t ci = f / (kh * kw);
+    const std::int64_t rem = f % (kh * kw);
+    const std::int64_t iy = oy * layer.stride + rem / kw - layer.pad;
+    const std::int64_t ix = ox * layer.stride + rem % kw - layer.pad;
+    if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) {
+      out.push_back(0);
+    } else {
+      out.push_back(input.at3(g * layer.group_in_channels() + ci, iy, ix));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FunctionalLoomEngine::FunctionalLoomEngine(FunctionalOptions opts)
+    : opts_(opts), dispatcher_(opts.lanes) {
+  LOOM_EXPECTS(opts.rows >= 1 && opts.cols >= 1);
+  LOOM_EXPECTS(opts.lanes >= 1 && opts.lanes <= 32);
+}
+
+std::uint64_t FunctionalLoomEngine::run_conv_block(
+    const nn::Layer& layer, const nn::Tensor& input, const nn::Tensor& weights,
+    std::int64_t g, std::int64_t fb, std::int64_t wb, nn::WideTensor& wide,
+    double& streamed_pa, std::int64_t& chunks) {
+  const std::int64_t cog = layer.group_out_channels();
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t windows = layer.windows();
+  const std::int64_t row0 = fb * opts_.rows;
+  const std::int64_t rows_used = std::min<std::int64_t>(opts_.rows, cog - row0);
+  const std::int64_t col0 = wb * opts_.cols;
+  const std::int64_t cols_used = std::min<std::int64_t>(opts_.cols, windows - col0);
+
+  // One SIP per (row, col); ORs accumulate across input chunks.
+  const arch::SipConfig sip_cfg{opts_.lanes, /*act_signed=*/false,
+                                /*weight_signed=*/true};
+  std::vector<arch::Sip> sips(
+      static_cast<std::size_t>(rows_used) * static_cast<std::size_t>(cols_used),
+      arch::Sip(sip_cfg));
+  for (auto& sip : sips) sip.begin_output();
+
+  std::uint64_t block_cycles = 0;
+  const std::int64_t ic_count = ceil_div(inner, opts_.lanes);
+  for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+    // Dispatcher: serialize the activation group (with dynamic detection)
+    // and the weight rows for this chunk.
+    std::vector<std::vector<Value>> act_cols;
+    for (std::int64_t c = 0; c < cols_used; ++c) {
+      act_cols.push_back(gather_window_chunk(layer, input, g, col0 + c,
+                                             ic * opts_.lanes, opts_.lanes));
+    }
+    const arch::ActivationStream acts = dispatcher_.stream_activations(
+        act_cols, layer.act_precision, opts_.dynamic_act_precision);
+
+    std::vector<std::vector<Value>> weight_rows;
+    for (std::int64_t r = 0; r < rows_used; ++r) {
+      std::vector<Value> row;
+      const std::int64_t co = g * cog + row0 + r;
+      const std::int64_t base = co * inner + ic * opts_.lanes;
+      for (std::int64_t l = 0;
+           l < std::min<std::int64_t>(opts_.lanes, inner - ic * opts_.lanes); ++l) {
+        row.push_back(weights.flat(base + l));
+      }
+      weight_rows.push_back(std::move(row));
+    }
+    const arch::WeightStream wbits =
+        dispatcher_.stream_weights(weight_rows, layer.weight_precision);
+
+    // Drive the grid: for each weight-bit pass, all SIPs in a row load the
+    // same WR word, then the activation bits stream MSB-first.
+    streamed_pa += acts.precision;
+    ++chunks;
+    for (int bit = 0; bit < wbits.precision; ++bit) {
+      const bool msb = bit == wbits.precision - 1;
+      for (std::int64_t r = 0; r < rows_used; ++r) {
+        const std::uint32_t wr = wbits.wr_word(bit, static_cast<int>(r));
+        for (std::int64_t c = 0; c < cols_used; ++c) {
+          sips[static_cast<std::size_t>(r * cols_used + c)].begin_weight_pass(
+              wr, bit, msb);
+        }
+      }
+      for (int step = 0; step < acts.precision; ++step) {
+        for (std::int64_t c = 0; c < cols_used; ++c) {
+          const std::uint32_t bits = acts.lanes(step, static_cast<int>(c));
+          for (std::int64_t r = 0; r < rows_used; ++r) {
+            sips[static_cast<std::size_t>(r * cols_used + c)].cycle(
+                bits, /*is_act_msb=*/false);  // conv activations are unsigned
+          }
+        }
+        ++block_cycles;
+      }
+      for (auto& sip : sips) sip.end_weight_pass();
+    }
+  }
+
+  for (std::int64_t r = 0; r < rows_used; ++r) {
+    for (std::int64_t c = 0; c < cols_used; ++c) {
+      const std::int64_t co = g * cog + row0 + r;
+      const std::int64_t window = col0 + c;
+      wide.at3(co, window / layer.out.w, window % layer.out.w) =
+          sips[static_cast<std::size_t>(r * cols_used + c)].output();
+    }
+  }
+  return block_cycles;
+}
+
+FunctionalLayerRun FunctionalLoomEngine::run_conv(const nn::Layer& layer,
+                                                  const nn::Tensor& input,
+                                                  const nn::Tensor& weights,
+                                                  int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kConv);
+  FunctionalLayerRun run;
+  run.name = layer.name;
+  run.out_bits = out_bits;
+  run.wide = nn::WideTensor(nn::Shape{layer.out.c, layer.out.h, layer.out.w});
+
+  double streamed_pa = 0.0;
+  std::int64_t chunks = 0;
+  const std::int64_t windows = layer.windows();
+  for (std::int64_t g = 0; g < layer.groups; ++g) {
+    const std::int64_t fb_count = ceil_div(layer.group_out_channels(), opts_.rows);
+    const std::int64_t wb_count = ceil_div(windows, opts_.cols);
+    for (std::int64_t fb = 0; fb < fb_count; ++fb) {
+      for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+        run.cycles += run_conv_block(layer, input, weights, g, fb, wb, run.wide,
+                                     streamed_pa, chunks);
+      }
+    }
+  }
+  run.mean_streamed_precision =
+      chunks ? streamed_pa / static_cast<double>(chunks) : 0.0;
+
+  run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);
+  run.output = nn::requantize(run.wide, run.requant_shift, out_bits, opts_.relu);
+  return run;
+}
+
+FunctionalLayerRun FunctionalLoomEngine::run_fc(const nn::Layer& layer,
+                                                const nn::Tensor& input,
+                                                const nn::Tensor& weights,
+                                                int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kFullyConnected);
+  FunctionalLayerRun run;
+  run.name = layer.name;
+  run.out_bits = out_bits;
+  run.wide = nn::WideTensor(nn::Shape{layer.out.c, 1, 1});
+
+  // FCLs stream the full 16 activation bits; each output maps to one SIP
+  // whose OR accumulates over the input chunks. Wall-clock cycles follow
+  // the column-staggered model: rounds x 16 x Pw for each block of
+  // rows x cols concurrent outputs.
+  const std::int64_t ci = layer.in.elements();
+  const std::int64_t concurrent =
+      static_cast<std::int64_t>(opts_.rows) * opts_.cols;
+  const arch::SipConfig sip_cfg{opts_.lanes, /*act_signed=*/true,
+                                /*weight_signed=*/true};
+  for (std::int64_t co = 0; co < layer.out.c; ++co) {
+    arch::Sip sip(sip_cfg);
+    sip.begin_output();
+    Wide acc = 0;
+    for (std::int64_t base = 0; base < ci; base += opts_.lanes) {
+      const std::int64_t n = std::min<std::int64_t>(opts_.lanes, ci - base);
+      std::vector<Value> a(static_cast<std::size_t>(n));
+      std::vector<Value> w(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        a[static_cast<std::size_t>(i)] = input.flat(base + i);
+        w[static_cast<std::size_t>(i)] = weights.flat(co * ci + base + i);
+      }
+      arch::Sip chunk_sip(sip_cfg);
+      acc += arch::sip_inner_product(chunk_sip, a, w, kBasePrecision,
+                                     layer.weight_precision);
+    }
+    run.wide.set_flat(co, acc);
+  }
+  const std::int64_t rounds = ceil_div(ci, static_cast<std::int64_t>(opts_.lanes));
+  const std::int64_t blocks = ceil_div(static_cast<std::int64_t>(layer.out.c),
+                                       concurrent);
+  run.cycles = static_cast<std::uint64_t>(blocks) *
+               static_cast<std::uint64_t>(rounds) * 16u *
+               static_cast<std::uint64_t>(layer.weight_precision);
+  run.mean_streamed_precision = kBasePrecision;
+
+  run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);
+  run.output = nn::requantize(run.wide, run.requant_shift, out_bits, opts_.relu);
+  return run;
+}
+
+FunctionalNetworkRun FunctionalLoomEngine::run_network(
+    const nn::Network& net, const nn::Tensor& input,
+    std::span<const nn::Tensor> weights) {
+  FunctionalNetworkRun run;
+  nn::Tensor current = input;
+  std::size_t weight_index = 0;
+
+  // Output precision of each weighted layer = the consumer's profile Pa.
+  const auto out_bits_for = [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < net.size(); ++j) {
+      if (net.layer(j).kind == nn::LayerKind::kConv) {
+        return net.layer(j).act_precision;
+      }
+      if (net.layer(j).kind == nn::LayerKind::kFullyConnected) break;
+    }
+    return static_cast<int>(kBasePrecision);
+  };
+
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    switch (layer.kind) {
+      case nn::LayerKind::kConv: {
+        LOOM_EXPECTS(weight_index < weights.size());
+        FunctionalLayerRun lr =
+            run_conv(layer, current, weights[weight_index++], out_bits_for(i));
+        current = lr.output;
+        run.total_cycles += lr.cycles;
+        run.layers.push_back(std::move(lr));
+        break;
+      }
+      case nn::LayerKind::kFullyConnected: {
+        LOOM_EXPECTS(weight_index < weights.size());
+        FunctionalLayerRun lr =
+            run_fc(layer, current, weights[weight_index++], out_bits_for(i));
+        current = lr.output;
+        run.total_cycles += lr.cycles;
+        run.layers.push_back(std::move(lr));
+        break;
+      }
+      case nn::LayerKind::kPool: {
+        current = nn::pool_forward(current, layer);
+        break;
+      }
+    }
+  }
+  run.output = current;
+  LOOM_ENSURES(weight_index == weights.size());
+  return run;
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,95 @@
+// Functional Loom engine: executes an entire (small) network through the
+// bit-serial datapath — dispatcher serialization, WR loads, per-cycle SIP
+// evaluation, cascade/OR accumulation, requantization and pooling between
+// layers — producing exact activations plus the wall-clock cycles the grid
+// spent.
+//
+// This is the ground-truth twin of the analytic cycle model in
+// loom_sim.cpp: tests assert that (a) the outputs equal the bit-parallel
+// golden reference through the whole network and (b) the cycle counts of
+// the two models agree. Full ImageNet-scale networks go through the
+// analytic model; this engine is for verification, the examples, and
+// datapath experiments (it is O(cycles x SIPs) in time).
+//
+// Restriction: models the LM1b variant (one activation bit per cycle).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/dispatcher.hpp"
+#include "arch/sip.hpp"
+#include "nn/network.hpp"
+#include "nn/reference.hpp"
+#include "nn/tensor.hpp"
+
+namespace loom::sim {
+
+struct FunctionalOptions {
+  int rows = 16;   ///< SIP rows (concurrent filters)
+  int cols = 16;   ///< SIP columns (concurrent windows)
+  int lanes = 16;  ///< products per SIP per cycle
+  bool dynamic_act_precision = true;
+  bool relu = true;  ///< apply ReLU at requantization (hidden layers)
+};
+
+struct FunctionalLayerRun {
+  std::string name;
+  nn::Tensor output;             ///< requantized output activations
+  nn::WideTensor wide;           ///< exact pre-requantization accumulators
+  std::uint64_t cycles = 0;      ///< grid wall-clock cycles
+  int requant_shift = 0;
+  int out_bits = kBasePrecision;
+  double mean_streamed_precision = 0.0;  ///< average Pa actually streamed
+};
+
+struct FunctionalNetworkRun {
+  std::vector<FunctionalLayerRun> layers;
+  nn::Tensor output;
+  std::uint64_t total_cycles = 0;
+};
+
+class FunctionalLoomEngine {
+ public:
+  explicit FunctionalLoomEngine(FunctionalOptions opts = {});
+
+  /// Execute one convolutional layer. `weights` is flat [Co][Ci/g][Kh][Kw].
+  [[nodiscard]] FunctionalLayerRun run_conv(const nn::Layer& layer,
+                                            const nn::Tensor& input,
+                                            const nn::Tensor& weights,
+                                            int out_bits);
+
+  /// Execute one fully-connected layer. `weights` is flat [Co][Ci].
+  [[nodiscard]] FunctionalLayerRun run_fc(const nn::Layer& layer,
+                                          const nn::Tensor& input,
+                                          const nn::Tensor& weights,
+                                          int out_bits);
+
+  /// Execute a whole profiled network: conv/fc layers on the grid, pooling
+  /// through the max/average units, requantizing every output to the
+  /// consumer layer's profile precision. `weights[i]` pairs with the i-th
+  /// *weighted* layer.
+  [[nodiscard]] FunctionalNetworkRun run_network(
+      const nn::Network& net, const nn::Tensor& input,
+      std::span<const nn::Tensor> weights);
+
+  [[nodiscard]] const arch::Dispatcher& dispatcher() const noexcept {
+    return dispatcher_;
+  }
+  [[nodiscard]] const FunctionalOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// Run one (filter-block, window-block) tile pass over all input chunks,
+  /// accumulating exact outputs in `wide` and cycles in the return value.
+  std::uint64_t run_conv_block(const nn::Layer& layer, const nn::Tensor& input,
+                               const nn::Tensor& weights, std::int64_t group,
+                               std::int64_t fb, std::int64_t wb,
+                               nn::WideTensor& wide, double& streamed_pa,
+                               std::int64_t& chunks);
+
+  FunctionalOptions opts_;
+  arch::Dispatcher dispatcher_;
+};
+
+}  // namespace loom::sim

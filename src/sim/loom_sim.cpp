@@ -1,0 +1,292 @@
+#include "sim/loom_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mem/bitpacked.hpp"
+
+namespace loom::sim {
+
+namespace {
+/// Adder tree (4 levels) + AC1/AC2 stages charged once per layer.
+constexpr std::uint64_t kPipelineFill = 8;
+}  // namespace
+
+LoomSimulator::LoomSimulator(const arch::LoomConfig& cfg, const SimOptions& opts)
+    : cfg_(cfg), opts_(opts) {
+  cfg_.validate();
+}
+
+std::string LoomSimulator::name() const { return cfg_.to_string(); }
+
+double LoomSimulator::timing_weight_precision(LayerWorkload& lw) const {
+  if (cfg_.sparse_weight_skipping) {
+    // §6 future-work estimate: serial passes shrink to the essential
+    // (any-weight-has-a-one) bit-planes under sign-magnitude streaming.
+    const double essential = lw.essential_weight_planes();
+    if (cfg_.per_group_weights) {
+      return std::min(essential, lw.effective_weight_precision());
+    }
+    return std::min(essential,
+                    static_cast<double>(lw.layer().weight_precision));
+  }
+  if (!cfg_.per_group_weights) {
+    return static_cast<double>(lw.layer().weight_precision);
+  }
+  if (cfg_.honest_group_weight_timing) {
+    // All rows load their weight-group bits in lock step, so a chunk's
+    // serial passes must cover the worst group among the rows x lanes/16
+    // groups loaded together.
+    const int rows_groups = cfg_.rows() * cfg_.lanes / cfg_.weight_group();
+    return lw.honest_weight_precision(rows_groups);
+  }
+  // Paper §4.6: assume performance scales linearly with the measured mean
+  // effective per-group weight precision.
+  return lw.effective_weight_precision();
+}
+
+LayerResult LoomSimulator::simulate_conv(LayerWorkload& lw) const {
+  const nn::Layer& layer = lw.layer();
+  LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.macs = layer.macs();
+
+  const int rows = cfg_.rows();
+  const int cols = cfg_.cols();
+  const int lanes = cfg_.lanes;
+  const int bpc = cfg_.bits_per_cycle;
+
+  const double pw = timing_weight_precision(lw);
+  const std::int64_t windows = layer.windows();
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t wb_count = ceil_div(windows, cols);
+  const std::int64_t ic_count = ceil_div(inner, lanes);
+
+  double cycles = 0.0;
+  double busy_lane_cycles = 0.0;
+  double pa_weighted = 0.0;
+  std::uint64_t chunks = 0;
+
+  for (int g = 0; g < layer.groups; ++g) {
+    const std::int64_t cog = layer.group_out_channels();
+    const std::int64_t fb = ceil_div(cog, rows);
+    for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+      const std::int64_t cols_used =
+          std::min<std::int64_t>(cols, windows - wb * cols);
+      for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+        const std::int64_t lanes_used =
+            std::min<std::int64_t>(lanes, inner - ic * lanes);
+        // Dynamic detection happens at the dispatcher on AM-fetch groups of
+        // 16 windows x 16 lanes (256 activations) regardless of the SIP
+        // column count, so the LM2b/4b variants see the same per-group
+        // precisions as LM1b (paper §3.2).
+        const int pa = cfg_.dynamic_act_precision
+                           ? lw.act_group_precision(g, (wb * cols) / 16, ic, 16)
+                           : layer.act_precision;
+        const auto pa_serial = static_cast<double>(ceil_div(pa, bpc));
+        const double chunk_cycles = pa_serial * pw;
+
+        cycles += chunk_cycles * static_cast<double>(fb);
+        pa_weighted += pa;
+        ++chunks;
+
+        // Active rows summed over the fb filter blocks equal cog exactly.
+        const auto dcog = static_cast<double>(cog);
+        r.activity.sip_lane_bit_ops += static_cast<std::uint64_t>(
+            dcog * static_cast<double>(cols_used * lanes_used) *
+            static_cast<double>(pa) * pw);
+        // A SIP is "busy" for the chunk's serial cycles; scale by the
+        // fraction of its lanes carrying real data.
+        busy_lane_cycles += dcog * static_cast<double>(cols_used) *
+                            (static_cast<double>(lanes_used) /
+                             static_cast<double>(lanes)) *
+                            pa_serial * pw;
+        r.activity.wr_bits_loaded += static_cast<std::uint64_t>(
+            dcog * static_cast<double>(cols_used * lanes) * pw);
+        r.activity.wm_read_bits +=
+            static_cast<std::uint64_t>(dcog * static_cast<double>(lanes) * pw);
+        r.activity.abin_read_bits += static_cast<std::uint64_t>(
+            static_cast<double>(cols_used * lanes * pa) * pw *
+            static_cast<double>(fb));
+        // AM -> ABin fetch, bit-packed at the detected precision, once per
+        // filter block.
+        const std::uint64_t am_bits = static_cast<std::uint64_t>(
+            cols_used * lanes_used * pa * fb);
+        r.activity.am_read_bits += am_bits;
+        r.activity.abin_write_bits += am_bits;
+        if (cfg_.dynamic_act_precision) {
+          r.activity.detector_values +=
+              static_cast<std::uint64_t>(cols_used * lanes_used);
+        }
+      }
+    }
+  }
+
+  r.compute_cycles = static_cast<std::uint64_t>(std::llround(cycles)) + kPipelineFill;
+  r.mean_act_precision = chunks ? pa_weighted / static_cast<double>(chunks) : 0.0;
+  r.mean_weight_precision = pw;
+  r.utilization = busy_lane_cycles /
+                  (static_cast<double>(r.compute_cycles) *
+                   static_cast<double>(rows) * static_cast<double>(cols));
+  // Idle lane slots still clock (underutilization energy penalty).
+  const double lane_slots = static_cast<double>(r.compute_cycles) *
+                            static_cast<double>(rows) *
+                            static_cast<double>(cols) *
+                            static_cast<double>(lanes);
+  r.activity.sip_idle_lane_cycles = static_cast<std::uint64_t>(
+      std::max(0.0, lane_slots - busy_lane_cycles * static_cast<double>(lanes)));
+
+  const std::uint64_t out_bits =
+      static_cast<std::uint64_t>(layer.out.elements()) * 16;
+  r.activity.about_write_bits = out_bits;
+  r.activity.about_read_bits = out_bits;
+  const std::uint64_t packed_out = static_cast<std::uint64_t>(
+      layer.out.elements() * lw.out_precision);
+  r.activity.am_write_bits = packed_out;
+  r.activity.transposer_bits = packed_out;
+  return r;
+}
+
+LayerResult LoomSimulator::simulate_fc(LayerWorkload& lw) const {
+  const nn::Layer& layer = lw.layer();
+  LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.macs = layer.macs();
+
+  const int rows = cfg_.rows();
+  const int cols = cfg_.cols();
+  const int lanes = cfg_.lanes;
+  const int bpc = cfg_.bits_per_cycle;
+  const std::int64_t concurrent = static_cast<std::int64_t>(rows) * cols;
+  const std::int64_t co = layer.out.c;
+  const std::int64_t ci = layer.in.elements();
+  const double pw = timing_weight_precision(lw);
+  const double act_passes = static_cast<double>(kBasePrecision / bpc);
+
+  // Choose the cascade slicing that minimizes cycles (ways = 1 disables
+  // cascading; larger ways split an output's inner dimension over adjacent
+  // SIPs at a reduction cost of ways-1 cycles per block).
+  double best_cycles = 0.0;
+  std::int64_t best_ways = 1;
+  std::int64_t best_fb = 0, best_rounds = 0;
+  const int max_ways = cfg_.cascading ? cols : 1;
+  for (std::int64_t ways = 1; ways <= max_ways; ways *= 2) {
+    const std::int64_t outputs_per_block = concurrent / ways;
+    if (outputs_per_block == 0) break;
+    const std::int64_t fb = ceil_div(co, outputs_per_block);
+    const std::int64_t rounds = ceil_div(ci, static_cast<std::int64_t>(lanes) * ways);
+    const double cyc = static_cast<double>(fb) *
+                           (static_cast<double>(rounds) * act_passes * pw +
+                            static_cast<double>(ways - 1));
+    if (best_fb == 0 || cyc < best_cycles) {
+      best_cycles = cyc;
+      best_ways = ways;
+      best_fb = fb;
+      best_rounds = rounds;
+    }
+  }
+
+  // Column-staggered weight loading: cols-1 cycles of initiation per layer
+  // (§3.2 "after the first 15 cycles all SIPs are fully utilized").
+  const double stagger = static_cast<double>(cols - 1);
+  r.compute_cycles = static_cast<std::uint64_t>(std::llround(best_cycles + stagger)) +
+                     kPipelineFill;
+  r.mean_act_precision = kBasePrecision;
+  r.mean_weight_precision = pw;
+
+  // Activity. Every output occupies `ways` SIPs; per round each of those
+  // SIPs loads `lanes` fresh weights (pw bits each, no bus sharing — all
+  // weights are distinct) and ANDs lanes x 16 x pw lane-bit products.
+  const double sip_rounds = static_cast<double>(co) *
+                            static_cast<double>(best_ways) *
+                            static_cast<double>(best_rounds);
+  r.activity.wr_bits_loaded =
+      static_cast<std::uint64_t>(sip_rounds * static_cast<double>(lanes) * pw);
+  r.activity.wm_read_bits = r.activity.wr_bits_loaded;
+  // Each MAC streams 16 activation bits against pw weight bits.
+  r.activity.sip_lane_bit_ops =
+      static_cast<std::uint64_t>(static_cast<double>(r.macs) * 16.0 * pw);
+  // Activation bus: lanes x cols x bpc bits per cycle while computing.
+  r.activity.abin_read_bits = static_cast<std::uint64_t>(
+      best_cycles * static_cast<double>(lanes * cols * bpc));
+  const std::uint64_t am_fetch =
+      static_cast<std::uint64_t>(ci) * 16 * static_cast<std::uint64_t>(best_fb);
+  r.activity.am_read_bits = am_fetch;
+  r.activity.abin_write_bits = am_fetch;
+
+  const std::uint64_t out_bits = static_cast<std::uint64_t>(co) * 16;
+  r.activity.about_write_bits = out_bits;
+  r.activity.about_read_bits = out_bits;
+  r.activity.am_write_bits = out_bits;
+
+  // Busy SIP-cycles: each output's `ways` SIPs run for its block's serial
+  // cycles.
+  const double busy = static_cast<double>(co) * static_cast<double>(best_ways) *
+                      static_cast<double>(best_rounds) * act_passes * pw;
+  const double slots = static_cast<double>(r.compute_cycles) *
+                       static_cast<double>(concurrent);
+  r.utilization = slots > 0.0 ? std::min(1.0, busy / slots) : 0.0;
+  r.activity.sip_idle_lane_cycles = static_cast<std::uint64_t>(
+      std::max(0.0, (slots - busy) * static_cast<double>(lanes)));
+  return r;
+}
+
+void LoomSimulator::add_offchip(LayerResult& r, const nn::Layer& layer,
+                                mem::MemorySystem& mem) const {
+  // Weights stream from off-chip once, bit-packed at the static profile
+  // precision (per-group packing would need per-group metadata; the static
+  // profile is what the memory layout uses).
+  const std::uint64_t weight_bits = static_cast<std::uint64_t>(
+      mem::packed_bits(layer.weight_count(), layer.weight_precision));
+  std::uint64_t dram_read = weight_bits;
+  std::uint64_t dram_write = 0;
+  const int in_prec =
+      layer.kind == nn::LayerKind::kConv ? layer.act_precision : kBasePrecision;
+  const std::int64_t act_bits =
+      layer.in.elements() * in_prec + layer.out.elements() * 16;
+  if (!mem.activations_fit(act_bits)) {
+    dram_read += static_cast<std::uint64_t>(layer.in.elements() * in_prec);
+    dram_write += static_cast<std::uint64_t>(layer.out.elements() * in_prec);
+  }
+  r.activity.dram_read_bits = dram_read;
+  r.activity.dram_write_bits = dram_write;
+  const std::uint64_t dram_cycles =
+      mem.offchip_read(dram_read) + mem.offchip_write(dram_write);
+  r.stall_cycles =
+      dram_cycles > r.compute_cycles ? dram_cycles - r.compute_cycles : 0;
+}
+
+LayerResult LoomSimulator::simulate_layer(LayerWorkload& lw,
+                                          mem::MemorySystem& mem) const {
+  LayerResult r = lw.layer().kind == nn::LayerKind::kConv ? simulate_conv(lw)
+                                                          : simulate_fc(lw);
+  if (opts_.model_offchip) add_offchip(r, lw.layer(), mem);
+  r.activity.cycles = r.cycles();
+  return r;
+}
+
+RunResult LoomSimulator::run(NetworkWorkload& workload) {
+  RunResult result;
+  result.arch_name = name();
+  result.network = workload.network().name();
+  result.bits_per_cycle = cfg_.bits_per_cycle;
+
+  mem::MemorySystemConfig mem_cfg =
+      mem::default_memory_config(cfg_.equiv_macs, /*bit_packed=*/true);
+  mem_cfg.model_offchip = opts_.model_offchip;
+  mem_cfg.dram = opts_.dram;
+  mem::MemorySystem mem(mem_cfg);
+
+  result.area = energy::loom_area(cfg_, mem_cfg);
+
+  for (std::size_t i = 0; i < workload.network().size(); ++i) {
+    if (!workload.network().layer(i).has_weights()) continue;
+    result.layers.push_back(simulate_layer(workload.layer(i), mem));
+  }
+  return result;
+}
+
+}  // namespace loom::sim

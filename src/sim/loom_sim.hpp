@@ -1,0 +1,44 @@
+// Cycle model of Loom (§3.2, Figure 2b): rows() x cols() SIPs; both
+// operands bit-serial.
+//
+// Convolutional layers: rows <- filters, cols <- windows. Each chunk (one
+// window block x one 16-activation input chunk) costs ceil(Pa/bpc) x Pw
+// cycles, where Pa is the per-group precision the dynamic detector finds in
+// the actual data and Pw is the layer weight precision (or, in §4.6 mode,
+// the measured mean effective per-group precision under the paper's
+// linear-scaling estimate).
+//
+// Fully-connected layers: one output per SIP (rows x cols concurrent),
+// column-staggered weight-bit loading, each weight bit reused over the full
+// 16 activation bits (16/bpc cycles), so FCL time scales with Pw only.
+// SIP cascading slices outputs across `ways` SIPs when the layer has fewer
+// outputs than SIPs (§3.2 "Processing Layers with Few Outputs").
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace loom::sim {
+
+class LoomSimulator final : public Simulator {
+ public:
+  LoomSimulator(const arch::LoomConfig& cfg, const SimOptions& opts);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] RunResult run(NetworkWorkload& workload) override;
+
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           mem::MemorySystem& mem) const;
+
+ private:
+  [[nodiscard]] LayerResult simulate_conv(LayerWorkload& lw) const;
+  [[nodiscard]] LayerResult simulate_fc(LayerWorkload& lw) const;
+  void add_offchip(LayerResult& r, const nn::Layer& layer,
+                   mem::MemorySystem& mem) const;
+  /// Weight precision (possibly fractional) used for timing this layer.
+  [[nodiscard]] double timing_weight_precision(LayerWorkload& lw) const;
+
+  arch::LoomConfig cfg_;
+  SimOptions opts_;
+};
+
+}  // namespace loom::sim

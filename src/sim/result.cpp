@@ -1,0 +1,78 @@
+#include "sim/result.hpp"
+
+#include "arch/config.hpp"
+#include "common/error.hpp"
+
+namespace loom::sim {
+
+namespace {
+
+bool matches(nn::LayerKind kind, RunResult::Filter f) {
+  switch (f) {
+    case RunResult::Filter::kAll: return kind != nn::LayerKind::kPool;
+    case RunResult::Filter::kConv: return kind == nn::LayerKind::kConv;
+    case RunResult::Filter::kFc: return kind == nn::LayerKind::kFullyConnected;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t RunResult::cycles(Filter f) const noexcept {
+  std::uint64_t n = 0;
+  for (const LayerResult& l : layers) {
+    if (matches(l.kind, f)) n += l.cycles();
+  }
+  return n;
+}
+
+std::int64_t RunResult::macs(Filter f) const noexcept {
+  std::int64_t n = 0;
+  for (const LayerResult& l : layers) {
+    if (matches(l.kind, f)) n += l.macs;
+  }
+  return n;
+}
+
+energy::Activity RunResult::activity(Filter f) const noexcept {
+  energy::Activity a;
+  for (const LayerResult& l : layers) {
+    if (matches(l.kind, f)) a.merge(l.activity);
+  }
+  return a;
+}
+
+double RunResult::energy_pj(Filter f,
+                            const energy::EnergyCoefficients& coeffs) const noexcept {
+  const energy::EnergyModel model(coeffs, area.total_mm2(), bits_per_cycle);
+  return model.evaluate(activity(f)).total_pj();
+}
+
+double RunResult::fps() const noexcept {
+  const std::uint64_t c = cycles(Filter::kAll);
+  if (c == 0) return 0.0;
+  return arch::kClockGhz * 1e9 / static_cast<double>(c);
+}
+
+std::uint64_t RunResult::offchip_bits() const noexcept {
+  const energy::Activity a = activity(Filter::kAll);
+  return a.dram_read_bits + a.dram_write_bits;
+}
+
+double speedup_vs(const RunResult& arch, const RunResult& baseline,
+                  RunResult::Filter f) {
+  const std::uint64_t mine = arch.cycles(f);
+  const std::uint64_t base = baseline.cycles(f);
+  LOOM_EXPECTS(mine > 0);
+  return static_cast<double>(base) / static_cast<double>(mine);
+}
+
+double efficiency_vs(const RunResult& arch, const RunResult& baseline,
+                     RunResult::Filter f) {
+  const double mine = arch.energy_pj(f);
+  const double base = baseline.energy_pj(f);
+  LOOM_EXPECTS(mine > 0.0);
+  return base / mine;
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,69 @@
+// Simulation results: per-layer cycle/activity records and whole-network
+// aggregation with energy evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/area_model.hpp"
+#include "energy/energy_model.hpp"
+#include "nn/layer.hpp"
+
+namespace loom::sim {
+
+struct LayerResult {
+  std::string name;
+  nn::LayerKind kind = nn::LayerKind::kConv;
+
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t stall_cycles = 0;  ///< off-chip bandwidth stalls (Figure 5 mode)
+  [[nodiscard]] std::uint64_t cycles() const noexcept {
+    return compute_cycles + stall_cycles;
+  }
+
+  std::int64_t macs = 0;
+  double utilization = 1.0;  ///< busy compute slots / provisioned slots
+
+  /// Average effective precisions the layer actually ran with.
+  double mean_act_precision = 0.0;
+  double mean_weight_precision = 0.0;
+
+  energy::Activity activity;
+};
+
+struct RunResult {
+  std::string arch_name;
+  std::string network;
+  int bits_per_cycle = 1;  ///< for the energy model's SIP lane energy
+  energy::AreaBreakdown area;
+  std::vector<LayerResult> layers;
+
+  enum class Filter { kAll, kConv, kFc };
+
+  [[nodiscard]] std::uint64_t cycles(Filter f = Filter::kAll) const noexcept;
+  [[nodiscard]] std::int64_t macs(Filter f = Filter::kAll) const noexcept;
+  [[nodiscard]] energy::Activity activity(Filter f = Filter::kAll) const noexcept;
+
+  /// Total energy (pJ) under the given coefficients; leakage uses the
+  /// architecture's total area.
+  [[nodiscard]] double energy_pj(
+      Filter f = Filter::kAll,
+      const energy::EnergyCoefficients& coeffs =
+          energy::default_energy_coefficients()) const noexcept;
+
+  /// Frames per second at the 1 GHz clock.
+  [[nodiscard]] double fps() const noexcept;
+
+  /// Total off-chip traffic in bits.
+  [[nodiscard]] std::uint64_t offchip_bits() const noexcept;
+};
+
+/// Speedup / relative energy efficiency of `arch` vs `baseline` over a
+/// layer-kind filter (the paper's Perf and Eff columns).
+[[nodiscard]] double speedup_vs(const RunResult& arch, const RunResult& baseline,
+                                RunResult::Filter f);
+[[nodiscard]] double efficiency_vs(const RunResult& arch, const RunResult& baseline,
+                                   RunResult::Filter f);
+
+}  // namespace loom::sim

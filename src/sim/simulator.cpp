@@ -1,0 +1,24 @@
+#include "sim/simulator.hpp"
+
+#include "sim/dpnn_sim.hpp"
+#include "sim/loom_sim.hpp"
+#include "sim/stripes_sim.hpp"
+
+namespace loom::sim {
+
+std::unique_ptr<Simulator> make_dpnn_simulator(const arch::DpnnConfig& cfg,
+                                               const SimOptions& opts) {
+  return std::make_unique<DpnnSimulator>(cfg, opts);
+}
+
+std::unique_ptr<Simulator> make_loom_simulator(const arch::LoomConfig& cfg,
+                                               const SimOptions& opts) {
+  return std::make_unique<LoomSimulator>(cfg, opts);
+}
+
+std::unique_ptr<Simulator> make_stripes_simulator(const arch::StripesConfig& cfg,
+                                                  const SimOptions& opts) {
+  return std::make_unique<StripesSimulator>(cfg, opts);
+}
+
+}  // namespace loom::sim

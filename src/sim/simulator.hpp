@@ -1,0 +1,41 @@
+// Simulator interface and factory. Each simulator turns a NetworkWorkload
+// into a RunResult using its architecture's cycle model; all share the
+// off-chip modeling options.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/config.hpp"
+#include "mem/hierarchy.hpp"
+#include "sim/result.hpp"
+#include "sim/workload.hpp"
+
+namespace loom::sim {
+
+struct SimOptions {
+  /// false reproduces §4.3's setup (activations on chip, weights
+  /// unconstrained); true adds the single-channel LPDDR4-4267 and AM/WM
+  /// capacity effects of §4.5 / Figure 5.
+  bool model_offchip = false;
+  mem::DramConfig dram;
+};
+
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Simulate one inference pass of the workload's network.
+  [[nodiscard]] virtual RunResult run(NetworkWorkload& workload) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Simulator> make_dpnn_simulator(
+    const arch::DpnnConfig& cfg, const SimOptions& opts = {});
+[[nodiscard]] std::unique_ptr<Simulator> make_loom_simulator(
+    const arch::LoomConfig& cfg, const SimOptions& opts = {});
+[[nodiscard]] std::unique_ptr<Simulator> make_stripes_simulator(
+    const arch::StripesConfig& cfg, const SimOptions& opts = {});
+
+}  // namespace loom::sim

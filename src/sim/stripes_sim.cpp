@@ -1,0 +1,192 @@
+#include "sim/stripes_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mem/bitpacked.hpp"
+
+namespace loom::sim {
+
+namespace {
+constexpr std::uint64_t kPipelineFill = 8;
+}  // namespace
+
+StripesSimulator::StripesSimulator(const arch::StripesConfig& cfg,
+                                   const SimOptions& opts)
+    : cfg_(cfg), opts_(opts) {
+  cfg_.validate();
+}
+
+LayerResult StripesSimulator::simulate_layer(LayerWorkload& lw,
+                                             mem::MemorySystem& mem) const {
+  const nn::Layer& layer = lw.layer();
+  LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.macs = layer.macs();
+  r.mean_weight_precision = kBasePrecision;  // weights stay bit-parallel
+
+  const int lanes = cfg_.lanes;
+  const int k = cfg_.filters();
+  const int windows_par = cfg_.windows;
+
+  if (layer.kind == nn::LayerKind::kConv) {
+    const std::int64_t windows = layer.windows();
+    const std::int64_t inner = layer.inner_length();
+    const std::int64_t wb_count = ceil_div(windows, windows_par);
+    const std::int64_t ic_count = ceil_div(inner, lanes);
+
+    double cycles = 0.0;
+    double busy = 0.0;
+    double pa_weighted = 0.0;
+    std::uint64_t chunks = 0;
+    for (int g = 0; g < layer.groups; ++g) {
+      const std::int64_t cog = layer.group_out_channels();
+      const std::int64_t fb = ceil_div(cog, k);
+      for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+        const std::int64_t w_used =
+            std::min<std::int64_t>(windows_par, windows - wb * windows_par);
+        for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+          const std::int64_t lanes_used =
+              std::min<std::int64_t>(lanes, inner - ic * lanes);
+          const int pa = cfg_.dynamic_act_precision
+                             ? lw.act_group_precision(g, wb, ic, windows_par)
+                             : layer.act_precision;
+          cycles += static_cast<double>(pa) * static_cast<double>(fb);
+          pa_weighted += pa;
+          ++chunks;
+
+          // Active filters summed over the fb blocks equal cog exactly.
+          const auto dcog = static_cast<double>(cog);
+          r.activity.stripes_lane_ops += static_cast<std::uint64_t>(
+              dcog * static_cast<double>(w_used * lanes_used) *
+              static_cast<double>(pa));
+          busy += dcog * static_cast<double>(w_used) *
+                  (static_cast<double>(lanes_used) / lanes) *
+                  static_cast<double>(pa);
+          // Weights load bit-parallel into the per-lane registers once per
+          // chunk and stay for the pa serial cycles.
+          r.activity.wr_bits_loaded += static_cast<std::uint64_t>(
+              dcog * static_cast<double>(w_used * lanes) * 16.0);
+          r.activity.wm_read_bits += static_cast<std::uint64_t>(
+              dcog * static_cast<double>(lanes) * 16.0);
+          r.activity.abin_read_bits += static_cast<std::uint64_t>(
+              static_cast<double>(w_used * lanes * pa) *
+              static_cast<double>(fb));
+          const std::uint64_t am_bits = static_cast<std::uint64_t>(
+              w_used * lanes_used * layer.act_precision * fb);
+          r.activity.am_read_bits += am_bits;
+          r.activity.abin_write_bits += am_bits;
+          if (cfg_.dynamic_act_precision) {
+            r.activity.detector_values +=
+                static_cast<std::uint64_t>(w_used * lanes_used);
+          }
+        }
+      }
+    }
+    r.compute_cycles =
+        static_cast<std::uint64_t>(std::llround(cycles)) + kPipelineFill;
+    r.mean_act_precision = chunks ? pa_weighted / static_cast<double>(chunks) : 0.0;
+    r.utilization =
+        busy / (static_cast<double>(r.compute_cycles) *
+                static_cast<double>(k) * static_cast<double>(windows_par));
+    const double lane_slots = static_cast<double>(r.compute_cycles) *
+                              static_cast<double>(k) *
+                              static_cast<double>(windows_par) *
+                              static_cast<double>(lanes);
+    r.activity.stripes_idle_lane_cycles = static_cast<std::uint64_t>(
+        std::max(0.0, lane_slots - busy * static_cast<double>(lanes)));
+  } else {
+    // FCL: one "window" of data; outputs map across the filter x window
+    // units; 16 serial cycles per 16-activation chunk — no speedup over the
+    // baseline (Table 2's Stripes FCL Perf = 1.00).
+    const std::int64_t ci = layer.in.elements();
+    const std::int64_t co = layer.out.c;
+    const std::int64_t concurrent = static_cast<std::int64_t>(k) * windows_par;
+    const std::int64_t fb = ceil_div(co, concurrent);
+    const std::int64_t ic_count = ceil_div(ci, lanes);
+    r.compute_cycles = static_cast<std::uint64_t>(ic_count) *
+                           static_cast<std::uint64_t>(fb) * 16 +
+                       kPipelineFill;
+    r.mean_act_precision = kBasePrecision;
+    r.activity.stripes_lane_ops =
+        static_cast<std::uint64_t>(r.macs) * 16;
+    r.activity.wr_bits_loaded =
+        static_cast<std::uint64_t>(layer.weight_count()) * 16;
+    r.activity.wm_read_bits = r.activity.wr_bits_loaded;
+    r.activity.abin_read_bits = r.compute_cycles * static_cast<std::uint64_t>(lanes);
+    const std::uint64_t am_fetch =
+        static_cast<std::uint64_t>(ci) * 16 * static_cast<std::uint64_t>(fb);
+    r.activity.am_read_bits = am_fetch;
+    r.activity.abin_write_bits = am_fetch;
+    r.utilization =
+        static_cast<double>(r.macs) * 16.0 /
+        (static_cast<double>(r.compute_cycles) * static_cast<double>(concurrent) *
+         static_cast<double>(lanes));
+    const double lane_slots = static_cast<double>(r.compute_cycles) *
+                              static_cast<double>(concurrent) *
+                              static_cast<double>(lanes);
+    r.activity.stripes_idle_lane_cycles = static_cast<std::uint64_t>(
+        std::max(0.0, lane_slots - static_cast<double>(r.macs) * 16.0));
+  }
+
+  const std::uint64_t out_bits =
+      static_cast<std::uint64_t>(layer.out.elements()) * 16;
+  r.activity.about_write_bits = out_bits;
+  r.activity.about_read_bits = out_bits;
+  // Stripes packs activations (not weights) in the AM.
+  const int out_prec =
+      layer.kind == nn::LayerKind::kConv ? lw.out_precision : kBasePrecision;
+  r.activity.am_write_bits =
+      static_cast<std::uint64_t>(layer.out.elements() * out_prec);
+  r.activity.transposer_bits = r.activity.am_write_bits;
+
+  if (opts_.model_offchip) {
+    const std::uint64_t weight_bits = static_cast<std::uint64_t>(
+        mem::parallel_bits(layer.weight_count()));  // weights stay 16-bit
+    std::uint64_t dram_read = weight_bits;
+    std::uint64_t dram_write = 0;
+    const int in_prec = layer.kind == nn::LayerKind::kConv
+                            ? layer.act_precision
+                            : kBasePrecision;
+    const std::int64_t act_bits =
+        layer.in.elements() * in_prec + layer.out.elements() * 16;
+    if (!mem.activations_fit(act_bits)) {
+      dram_read += static_cast<std::uint64_t>(layer.in.elements() * in_prec);
+      dram_write += static_cast<std::uint64_t>(layer.out.elements() * in_prec);
+    }
+    r.activity.dram_read_bits = dram_read;
+    r.activity.dram_write_bits = dram_write;
+    const std::uint64_t dram_cycles =
+        mem.offchip_read(dram_read) + mem.offchip_write(dram_write);
+    r.stall_cycles =
+        dram_cycles > r.compute_cycles ? dram_cycles - r.compute_cycles : 0;
+  }
+
+  r.activity.cycles = r.cycles();
+  return r;
+}
+
+RunResult StripesSimulator::run(NetworkWorkload& workload) {
+  RunResult result;
+  result.arch_name = name();
+  result.network = workload.network().name();
+  result.bits_per_cycle = 1;
+
+  mem::MemorySystemConfig mem_cfg =
+      mem::default_memory_config(cfg_.equiv_macs, /*bit_packed=*/true);
+  mem_cfg.model_offchip = opts_.model_offchip;
+  mem_cfg.dram = opts_.dram;
+  mem::MemorySystem mem(mem_cfg);
+
+  result.area = energy::stripes_area(cfg_, mem_cfg);
+
+  for (std::size_t i = 0; i < workload.network().size(); ++i) {
+    if (!workload.network().layer(i).has_weights()) continue;
+    result.layers.push_back(simulate_layer(workload.layer(i), mem));
+  }
+  return result;
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,27 @@
+// Cycle model of Stripes [7] and DStripes [5+7]: bit-serial activations
+// against bit-parallel 16-bit weights; 16 concurrent windows per filter so
+// filter parallelism matches DPNN's. Convolutional chunks cost Pa cycles
+// (the per-group detected Pa for DStripes); fully-connected layers gain
+// nothing over the baseline because weights stay bit-parallel.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace loom::sim {
+
+class StripesSimulator final : public Simulator {
+ public:
+  StripesSimulator(const arch::StripesConfig& cfg, const SimOptions& opts);
+
+  [[nodiscard]] std::string name() const override { return cfg_.to_string(); }
+  [[nodiscard]] RunResult run(NetworkWorkload& workload) override;
+
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           mem::MemorySystem& mem) const;
+
+ private:
+  arch::StripesConfig cfg_;
+  SimOptions opts_;
+};
+
+}  // namespace loom::sim

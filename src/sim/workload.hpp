@@ -1,0 +1,136 @@
+// Workload preparation: turns a profiled network into the data views the
+// cycle-accurate simulators consume.
+//
+//  * Per layer, a synthetic input-activation tensor is materialized from a
+//    distribution calibrated so per-group dynamic precision detection
+//    reproduces the paper-implied trims (quant/calibration).
+//  * act_group_precision(g, wb, ic, cols) returns the precision the dynamic
+//    detector would find for the activations processed concurrently in
+//    window-block `wb`, input-chunk `ic` of conv group `g` when `cols`
+//    windows run in parallel — computed from the actual tensor values via
+//    im2col indexing (zero padding included) and memoized.
+//  * Weight tensors are streamed (never materialized) from sources
+//    calibrated to Table 3's effective per-group precisions; the measured
+//    mean effective precision feeds the §4.6 performance estimate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/synthetic.hpp"
+#include "nn/tensor.hpp"
+#include "quant/profiles.hpp"
+
+namespace loom::sim {
+
+struct WorkloadOptions {
+  std::uint64_t seed = 1;
+  double act_zero_fraction = 0.45;  ///< ReLU sparsity of synthetic activations
+  int lanes = 16;                   ///< SIP/IP lane count (activation chunk size)
+  /// Cap on weights streamed per layer for group statistics; larger tensors
+  /// are sampled with a deterministic stride.
+  std::int64_t weight_sample_cap = 1 << 21;
+};
+
+class LayerWorkload {
+ public:
+  LayerWorkload(const nn::Layer& layer, std::size_t layer_index,
+                const quant::PrecisionProfile& profile,
+                const WorkloadOptions& opts);
+
+  [[nodiscard]] const nn::Layer& layer() const noexcept { return layer_; }
+
+  /// Detected precision for the activation group at (conv group g,
+  /// window block wb, input chunk ic) with `cols` concurrent windows.
+  /// Result is always in [1, layer Pa]. Conv layers only.
+  [[nodiscard]] int act_group_precision(std::int64_t g, std::int64_t wb,
+                                        std::int64_t ic, int cols);
+
+  /// Mean effective per-group (16 weights) precision, measured by streaming
+  /// the calibrated weight source (paper Table 3 / §4.6).
+  [[nodiscard]] double effective_weight_precision();
+
+  /// Honest per-chunk weight timing for the ablation: expected max group
+  /// precision over `rows_groups` weight groups loaded together.
+  [[nodiscard]] double honest_weight_precision(int rows_groups);
+
+  /// §6 sparsity extension: mean number of *essential* weight bit-planes
+  /// per 16-weight group — the popcount of the OR of the magnitudes plus
+  /// one sign pass (sign-magnitude serialization). Bit positions at which
+  /// every weight of the group is zero can be skipped entirely, unlike
+  /// precision trimming which only removes leading planes.
+  [[nodiscard]] double essential_weight_planes();
+
+  /// Static profile precisions.
+  [[nodiscard]] int profile_act_precision() const noexcept {
+    return layer_.act_precision;
+  }
+  [[nodiscard]] int profile_weight_precision() const noexcept {
+    return layer_.weight_precision;
+  }
+
+  /// Precision at which this layer's *output* activations are stored (the
+  /// consumer layer's profile precision; 16 when unknown).
+  int out_precision = kBasePrecision;
+
+ private:
+  void ensure_input_tensor();
+  /// Refine the activation distribution so the mean detected precision over
+  /// the layer's *actual* (window-block, input-chunk) groups — which share
+  /// values between overlapping windows — hits the calibration target.
+  void ensure_group_calibrated();
+  [[nodiscard]] Value window_value(std::int64_t g, std::int64_t window,
+                                   std::int64_t flat) const;
+  /// Same mapping but reading from a streamed source (used during
+  /// calibration, before the input tensor is materialized).
+  [[nodiscard]] Value window_value_from(const nn::SyntheticSource& src,
+                                        std::int64_t g, std::int64_t window,
+                                        std::int64_t flat) const;
+  [[nodiscard]] double measure_group_mean(const nn::SyntheticSource& src,
+                                          int cols, int max_groups) const;
+
+  const nn::Layer& layer_;
+  std::size_t layer_index_;
+  WorkloadOptions opts_;
+  double act_target_precision_;   ///< calibration target (Pa - trim)
+  double table3_target_ = 0.0;    ///< effective weight precision target
+  std::optional<nn::Tensor> input_;
+  nn::SyntheticSpec act_spec_;
+  bool group_calibrated_ = false;
+  std::optional<double> measured_weight_precision_;
+  std::optional<double> essential_planes_;
+  std::unordered_map<int, std::vector<std::uint8_t>> group_precision_cache_;
+  std::unordered_map<int, double> honest_cache_;
+};
+
+class NetworkWorkload {
+ public:
+  /// Copies `net`, which must already carry profile precisions
+  /// (quant::apply_profile). The workload owns its network so it can be
+  /// shared across several simulator runs.
+  NetworkWorkload(nn::Network net, const quant::PrecisionProfile& profile,
+                  WorkloadOptions opts = {});
+
+  [[nodiscard]] const nn::Network& network() const noexcept { return net_; }
+  [[nodiscard]] const quant::PrecisionProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] LayerWorkload& layer(std::size_t index);
+
+ private:
+  nn::Network net_;
+  quant::PrecisionProfile profile_;
+  WorkloadOptions opts_;
+  std::vector<std::unique_ptr<LayerWorkload>> layers_;
+};
+
+/// Convenience: build a profiled zoo network and its workload.
+[[nodiscard]] std::unique_ptr<NetworkWorkload> prepare_network(
+    const std::string& zoo_name, quant::AccuracyTarget target,
+    WorkloadOptions opts = {});
+
+}  // namespace loom::sim

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "arch/adder_tree.hpp"
+#include "arch/ip_unit.hpp"
+#include "common/error.hpp"
+
+namespace loom::arch {
+namespace {
+
+TEST(AdderTree, DepthIsCeilLog2) {
+  EXPECT_EQ(AdderTree(1).depth(), 0);
+  EXPECT_EQ(AdderTree(2).depth(), 1);
+  EXPECT_EQ(AdderTree(3).depth(), 2);
+  EXPECT_EQ(AdderTree(16).depth(), 4);
+  EXPECT_EQ(AdderTree(17).depth(), 5);
+}
+
+TEST(AdderTree, ReduceSums) {
+  const AdderTree tree(4);
+  const std::array<Wide, 4> in = {1, -2, 3, 10};
+  EXPECT_EQ(tree.reduce(in), 12);
+}
+
+TEST(AdderTree, ReduceIgnoresBeyondFanIn) {
+  const AdderTree tree(2);
+  const std::array<Wide, 4> in = {1, 2, 100, 100};
+  EXPECT_EQ(tree.reduce(in), 3);
+}
+
+TEST(AdderTree, ReduceBitsPopcount) {
+  const AdderTree tree(16);
+  EXPECT_EQ(tree.reduce_bits(0xFFFF), 16);
+  EXPECT_EQ(tree.reduce_bits(0x0101), 2);
+  // Bits above fan-in are masked.
+  EXPECT_EQ(tree.reduce_bits(0xFFFF0000), 0);
+}
+
+TEST(AdderTree, InvalidFanInThrows) {
+  EXPECT_THROW(AdderTree(0), ContractViolation);
+}
+
+TEST(IpUnit, AccumulatesDotProducts) {
+  IpUnit ip(16);
+  ip.begin_output();
+  const std::vector<Value> a = {2, 3};
+  const std::vector<Value> w = {10, -1};
+  ip.cycle(a, w);
+  EXPECT_EQ(ip.output(), 17);
+  ip.cycle(a, w);
+  EXPECT_EQ(ip.output(), 34);
+  EXPECT_EQ(ip.cycles(), 2u);
+}
+
+TEST(IpUnit, BeginOutputClearsAccumulator) {
+  IpUnit ip(4);
+  const std::vector<Value> a = {1};
+  const std::vector<Value> w = {1};
+  ip.cycle(a, w);
+  ip.begin_output();
+  EXPECT_EQ(ip.output(), 0);
+}
+
+TEST(IpUnit, FullPrecisionProductsDoNotOverflow) {
+  IpUnit ip(16);
+  ip.begin_output();
+  const std::vector<Value> a(16, 32767);
+  const std::vector<Value> w(16, -32768);
+  ip.cycle(a, w);
+  EXPECT_EQ(ip.output(), 16 * (Wide{32767} * -32768));
+}
+
+TEST(IpUnit, PipelineDepthIncludesMultiplier) {
+  EXPECT_EQ(IpUnit(16).pipeline_depth(), 5);  // 4 tree levels + multiply
+}
+
+}  // namespace
+}  // namespace loom::arch

@@ -1,0 +1,85 @@
+// Distribution calibration: the mechanism that makes synthetic workloads
+// reproduce the paper's published effective precisions (Table 3 and the
+// dynamic activation trims). Parameterized over a (precision, target) grid.
+#include <gtest/gtest.h>
+
+#include "quant/calibration.hpp"
+#include "quant/group_precision.hpp"
+
+namespace loom::quant {
+namespace {
+
+TEST(Calibration, MeasureIsMonotoneInAlpha) {
+  nn::SyntheticSpec spec{.precision = 10, .alpha = 1.0, .is_signed = true};
+  CalibrationOptions opts;
+  double prev = 1e9;
+  for (const double alpha : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    spec.alpha = alpha;
+    const double m = measure_mean_group_precision(spec, opts);
+    EXPECT_LE(m, prev + 0.05) << alpha;
+    prev = m;
+  }
+}
+
+struct GridCase {
+  int precision;
+  bool is_signed;
+  double target;
+};
+
+class CalibrationGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CalibrationGrid, HitsTargetWithinTolerance) {
+  const GridCase c = GetParam();
+  nn::SyntheticSpec spec;
+  spec.precision = c.precision;
+  spec.is_signed = c.is_signed;
+  CalibrationOptions opts;
+  opts.group_size = 16;
+  const nn::SyntheticSpec calibrated =
+      calibrate_to_group_precision(spec, c.target, opts);
+  const double measured = measure_mean_group_precision(calibrated, opts);
+  EXPECT_NEAR(measured, c.target, 0.15)
+      << "precision=" << c.precision << " target=" << c.target;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightLikeTargets, CalibrationGrid,
+    ::testing::Values(GridCase{11, true, 8.36},   // AlexNet Table 3
+                      GridCase{11, true, 6.19},   // GoogLeNet Table 3
+                      GridCase{12, true, 9.94},   // VGGS Table 3
+                      GridCase{12, true, 7.20},   // VGG19 Table 3
+                      GridCase{10, true, 8.0},
+                      GridCase{11, true, 4.83}));  // GoogLeNet minimum
+
+INSTANTIATE_TEST_SUITE_P(
+    ActivationLikeTargets, CalibrationGrid,
+    ::testing::Values(GridCase{8, false, 6.5}, GridCase{9, false, 7.0},
+                      GridCase{13, false, 10.0}, GridCase{5, false, 3.5}));
+
+TEST(Calibration, UnreachableHighTargetFallsBackToAlphaOne) {
+  nn::SyntheticSpec spec{.precision = 8, .alpha = 1.0, .is_signed = true};
+  const nn::SyntheticSpec calibrated =
+      calibrate_to_group_precision(spec, 15.0, {});
+  EXPECT_DOUBLE_EQ(calibrated.alpha, 1.0);
+}
+
+TEST(Calibration, CacheReturnsSameSpec) {
+  const auto& a = calibrated_spec_cached(11, true, 0.0, 16, 8.36);
+  const auto& b = calibrated_spec_cached(11, true, 0.0, 16, 8.36);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.precision, 11);
+  EXPECT_TRUE(a.is_signed);
+}
+
+TEST(Calibration, ZeroFractionCompatible) {
+  nn::SyntheticSpec spec{.precision = 9, .alpha = 1.0, .is_signed = false,
+                         .zero_fraction = 0.45};
+  CalibrationOptions opts;
+  opts.group_size = 256;
+  const auto calibrated = calibrate_to_group_precision(spec, 7.0, opts);
+  EXPECT_NEAR(measure_mean_group_precision(calibrated, opts), 7.0, 0.15);
+}
+
+}  // namespace
+}  // namespace loom::quant

@@ -1,0 +1,134 @@
+// DPNN cycle model: hand-computed counts for the DaDianNao-style baseline.
+#include <gtest/gtest.h>
+
+#include "sim/dpnn_sim.hpp"
+#include "sim/workload.hpp"
+
+namespace loom::sim {
+namespace {
+
+quant::PrecisionProfile profile_two_conv_one_fc() {
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.conv_act = {8, 6};
+  p.conv_weight = 10;
+  p.fc_weight = {9};
+  return p;
+}
+
+NetworkWorkload make_workload(int co1 = 32) {
+  nn::Network net("custom", nn::Shape3{8, 16, 16});
+  net.add_conv("c1", co1, 3, 1, 1).precision_group = 0;
+  net.add_conv("c2", 16, 3, 1, 1).precision_group = 1;
+  net.add_fc("f1", 100);
+  const auto profile = profile_two_conv_one_fc();
+  quant::apply_profile(net, profile);
+  return NetworkWorkload(std::move(net), profile);
+}
+
+TEST(DpnnSim, ConvCyclesByHand) {
+  NetworkWorkload wl = make_workload();
+  DpnnSimulator sim(arch::DpnnConfig{}, SimOptions{});
+  RunResult r = sim.run(wl);
+  // c1: 256 windows x ceil(72/16)=5 chunks x ceil(32/8)=4 blocks (+6 fill).
+  EXPECT_EQ(r.layers[0].compute_cycles, 256u * 5 * 4 + 6);
+  // c2: in 32x16x16, 256 windows x ceil(288/16)=18 x ceil(16/8)=2.
+  EXPECT_EQ(r.layers[1].compute_cycles, 256u * 18 * 2 + 6);
+  // f1: in 16*16*16=4096 -> ceil(4096/16)=256 x ceil(100/8)=13.
+  EXPECT_EQ(r.layers[2].compute_cycles, 256u * 13 + 6);
+}
+
+TEST(DpnnSim, UtilizationReflectsPadding) {
+  NetworkWorkload wl = make_workload();
+  DpnnSimulator sim(arch::DpnnConfig{}, SimOptions{});
+  RunResult r = sim.run(wl);
+  // c1 is fully divisible: 72 is not a multiple of 16, so lanes idle in the
+  // 5th chunk: utilization = 72/80.
+  EXPECT_NEAR(r.layers[0].utilization, 72.0 / 80.0, 0.01);
+  EXPECT_LE(r.layers[2].utilization, 1.0);
+}
+
+TEST(DpnnSim, GroupedConvProcessesGroupsIndependently) {
+  nn::Network net("custom", nn::Shape3{8, 8, 8});
+  net.add_conv("g", 16, 3, 1, 1, /*groups=*/2).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.conv_act = {8};
+  p.conv_weight = 10;
+  quant::apply_profile(net, p);
+  NetworkWorkload wl(std::move(net), p);
+  DpnnSimulator sim(arch::DpnnConfig{}, SimOptions{});
+  RunResult r = sim.run(wl);
+  // Per group: inner = 4*9=36 -> 3 chunks; cog=8 -> 1 block; 2 groups.
+  EXPECT_EQ(r.layers[0].compute_cycles, 64u * 3 * 2 + 6);
+}
+
+TEST(DpnnSim, EquivalentMacsScaleFilters) {
+  NetworkWorkload wl = make_workload(/*co1=*/128);
+  arch::DpnnConfig big;
+  big.equiv_macs = 256;  // 16 filters per cycle
+  DpnnSimulator sim128(arch::DpnnConfig{}, SimOptions{});
+  DpnnSimulator sim256(big, SimOptions{});
+  const auto r128 = sim128.run(wl);
+  const auto r256 = sim256.run(wl);
+  // c1 filter blocks halve: 128/8=16 vs 128/16=8.
+  EXPECT_NEAR(static_cast<double>(r128.layers[0].compute_cycles),
+              2.0 * static_cast<double>(r256.layers[0].compute_cycles), 16.0);
+}
+
+TEST(DpnnSim, MacsMatchLayerWork) {
+  NetworkWorkload wl = make_workload();
+  DpnnSimulator sim(arch::DpnnConfig{}, SimOptions{});
+  RunResult r = sim.run(wl);
+  for (const auto& l : r.layers) {
+    EXPECT_EQ(l.activity.mac_ops, static_cast<std::uint64_t>(l.macs));
+  }
+  EXPECT_EQ(r.macs(RunResult::Filter::kAll),
+            wl.network().total_macs());
+}
+
+TEST(DpnnSim, OffchipStallsOnWeightHeavyFc) {
+  // A fat FC is DRAM-bound: 4096x4096 16-bit weights over one LPDDR4
+  // channel takes far longer than the compute.
+  nn::Network net("custom", nn::Shape3{4096, 1, 1});
+  net.add_fc("fat", 4096);
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.fc_weight = {16};
+  quant::apply_profile(net, p);
+  NetworkWorkload wl(std::move(net), p);
+
+  SimOptions offchip;
+  offchip.model_offchip = true;
+  DpnnSimulator sim(arch::DpnnConfig{}, offchip);
+  RunResult r = sim.run(wl);
+  EXPECT_GT(r.layers[0].stall_cycles, r.layers[0].compute_cycles);
+  EXPECT_GT(r.layers[0].activity.dram_read_bits,
+            static_cast<std::uint64_t>(4096) * 4096 * 16 - 1);
+}
+
+TEST(DpnnSim, NoOffchipTrafficInUnconstrainedMode) {
+  NetworkWorkload wl = make_workload();
+  DpnnSimulator sim(arch::DpnnConfig{}, SimOptions{});
+  RunResult r = sim.run(wl);
+  EXPECT_EQ(r.offchip_bits(), 0u);
+  for (const auto& l : r.layers) EXPECT_EQ(l.stall_cycles, 0u);
+}
+
+TEST(DpnnSim, PoolingLayersAreFree) {
+  nn::Network net("custom", nn::Shape3{4, 8, 8});
+  net.add_conv("c", 8, 3, 1, 1).precision_group = 0;
+  net.add_pool("p", nn::PoolKind::kMax, 2, 2);
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.conv_act = {8};
+  p.conv_weight = 10;
+  quant::apply_profile(net, p);
+  NetworkWorkload wl(std::move(net), p);
+  DpnnSimulator sim(arch::DpnnConfig{}, SimOptions{});
+  RunResult r = sim.run(wl);
+  EXPECT_EQ(r.layers.size(), 1u);  // pool layers are not simulated
+}
+
+}  // namespace
+}  // namespace loom::sim

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/detector.hpp"
+#include "arch/serializer.hpp"
+#include "common/error.hpp"
+#include "nn/synthetic.hpp"
+#include "quant/dynamic_precision.hpp"
+
+namespace loom {
+namespace {
+
+TEST(PerGroupPrecisions, MatchesBruteForce) {
+  const std::vector<Value> values = {1, 2, 3, 0, 250, 1, 0, 0, 15};
+  const auto groups = quant::per_group_precisions(values, 3, /*is_signed=*/false);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], 2);  // max 3
+  EXPECT_EQ(groups[1], 8);  // max 250
+  EXPECT_EQ(groups[2], 4);  // max 15
+}
+
+TEST(PerGroupPrecisions, PartialFinalGroup) {
+  const std::vector<Value> values = {1, 1, 1, 1, 127};
+  const auto groups = quant::per_group_precisions(values, 4, false);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[1], 7);
+}
+
+TEST(PerGroupPrecisions, SignedWeights) {
+  const std::vector<Value> values = {-1, 1, -128, 2};
+  const auto groups = quant::per_group_precisions(values, 2, true);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], 2);
+  EXPECT_EQ(groups[1], 8);
+}
+
+TEST(MeanGroupPrecision, AveragesGroups) {
+  const std::vector<Value> values = {1, 1, 255, 255};
+  EXPECT_DOUBLE_EQ(quant::mean_group_precision(values, 2, false), 4.5);
+}
+
+TEST(PrecisionDetector, CountsInvocations) {
+  quant::PrecisionDetector det;
+  const std::vector<Value> group = {1, 2, 3};
+  (void)det.detect_unsigned(group);
+  (void)det.detect_signed(group);
+  EXPECT_EQ(det.invocations(), 2u);
+  det.reset();
+  EXPECT_EQ(det.invocations(), 0u);
+}
+
+TEST(DynamicPrecisionUnit, DetectMatchesGroupPrecision) {
+  arch::DynamicPrecisionUnit unit;
+  const std::vector<Value> group = {0, 5, 9, 2};
+  EXPECT_EQ(unit.detect(group), group_precision_unsigned(group));
+  EXPECT_EQ(unit.invocations(), 1u);
+  EXPECT_EQ(unit.values_inspected(), 4u);
+}
+
+TEST(DynamicPrecisionUnit, PlaneDetectionEqualsValueDetection) {
+  // The OR-tree-over-bit-planes formulation must agree with the direct
+  // value formulation on random data.
+  nn::SyntheticSpec spec{.precision = 9, .alpha = 2.0, .is_signed = false};
+  const nn::SyntheticSource src(3, 0, spec);
+  arch::DynamicPrecisionUnit unit;
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<Value> group(64);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i] = src.at(static_cast<std::uint64_t>(trial) * 64 + i);
+    }
+    const arch::BitPlanes planes = arch::serialize(group, 16);
+    EXPECT_EQ(unit.detect_planes(planes), unit.detect(group)) << trial;
+  }
+}
+
+TEST(DynamicPrecisionUnit, AllZerosStillOneBit) {
+  arch::DynamicPrecisionUnit unit;
+  const std::vector<Value> zeros(16, 0);
+  EXPECT_EQ(unit.detect(zeros), 1);
+  EXPECT_EQ(unit.detect_planes(arch::serialize(zeros, 8)), 1);
+}
+
+TEST(PerGroupPrecisions, GroupSizeOneIsPerValue) {
+  const std::vector<Value> values = {0, 1, 2, 4, 8};
+  const auto groups = quant::per_group_precisions(values, 1, false);
+  const std::vector<int> expected = {1, 1, 2, 3, 4};
+  EXPECT_EQ(groups, expected);
+}
+
+TEST(PerGroupPrecisions, InvalidGroupThrows) {
+  const std::vector<Value> values = {1};
+  EXPECT_THROW((void)quant::per_group_precisions(values, 0, false),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace loom

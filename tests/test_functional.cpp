@@ -1,0 +1,183 @@
+// Functional engine: whole layers and networks executed through the
+// bit-serial datapath must match the bit-parallel golden model exactly,
+// and the wall-clock cycles must agree with the analytic cycle model.
+#include <gtest/gtest.h>
+
+#include "sim/functional.hpp"
+#include "sim/loom_sim.hpp"
+#include "sim/workload.hpp"
+
+namespace loom::sim {
+namespace {
+
+struct SmallNet {
+  nn::Network net;
+  std::vector<nn::Tensor> weights;
+  nn::Tensor input;
+};
+
+SmallNet make_small_net() {
+  nn::Network net("tiny", nn::Shape3{4, 12, 12});
+  net.add_conv("c1", 8, 3, 1, 1).precision_group = 0;
+  net.add_pool("p1", nn::PoolKind::kMax, 2, 2);
+  net.add_conv("c2", 16, 3, 1, 1).precision_group = 1;
+  net.add_fc("f1", 10);
+  quant::PrecisionProfile p;
+  p.network = "tiny";
+  p.conv_act = {7, 6};
+  p.conv_weight = 8;
+  p.fc_weight = {7};
+  quant::apply_profile(net, p);
+
+  SmallNet s{std::move(net), {}, nn::Tensor{}};
+  // High alpha concentrates values so per-group dynamic detection has
+  // something to trim (overlapping windows share values, so a group sees
+  // ~50 distinct draws, not 256).
+  nn::SyntheticSpec act{.precision = 7, .alpha = 40.0, .is_signed = false};
+  s.input = nn::make_activation_tensor(s.net.layer(0).in, act, 1, 1);
+  std::uint64_t stream = 100;
+  for (const auto& l : s.net.layers()) {
+    if (!l.has_weights()) continue;
+    nn::SyntheticSpec w{.precision = l.weight_precision, .alpha = 2.0,
+                        .is_signed = true};
+    s.weights.push_back(nn::make_weight_tensor(l.weight_count(), w, 2, stream++));
+  }
+  return s;
+}
+
+TEST(Functional, ConvLayerMatchesGoldenModel) {
+  SmallNet s = make_small_net();
+  FunctionalLoomEngine engine(FunctionalOptions{.rows = 8, .cols = 16});
+  const auto run = engine.run_conv(s.net.layer(0), s.input, s.weights[0], 16);
+  const nn::WideTensor golden =
+      nn::conv_forward(s.input, s.weights[0], s.net.layer(0));
+  ASSERT_EQ(run.wide.elements(), golden.elements());
+  for (std::int64_t i = 0; i < golden.elements(); ++i) {
+    ASSERT_EQ(run.wide.flat(i), golden.flat(i)) << i;
+  }
+}
+
+TEST(Functional, ConvMatchesGoldenWithDynamicPrecisionOff) {
+  SmallNet s = make_small_net();
+  FunctionalLoomEngine engine(
+      FunctionalOptions{.rows = 4, .cols = 8, .dynamic_act_precision = false});
+  const auto run = engine.run_conv(s.net.layer(0), s.input, s.weights[0], 16);
+  const nn::WideTensor golden =
+      nn::conv_forward(s.input, s.weights[0], s.net.layer(0));
+  for (std::int64_t i = 0; i < golden.elements(); ++i) {
+    ASSERT_EQ(run.wide.flat(i), golden.flat(i)) << i;
+  }
+}
+
+TEST(Functional, DynamicPrecisionSavesCyclesLosslessly) {
+  SmallNet s = make_small_net();
+  FunctionalLoomEngine dyn(FunctionalOptions{.rows = 8, .cols = 16});
+  FunctionalLoomEngine stat(
+      FunctionalOptions{.rows = 8, .cols = 16, .dynamic_act_precision = false});
+  const auto run_dyn = dyn.run_conv(s.net.layer(0), s.input, s.weights[0], 16);
+  const auto run_stat = stat.run_conv(s.net.layer(0), s.input, s.weights[0], 16);
+  EXPECT_LT(run_dyn.cycles, run_stat.cycles);
+  for (std::int64_t i = 0; i < run_stat.wide.elements(); ++i) {
+    ASSERT_EQ(run_dyn.wide.flat(i), run_stat.wide.flat(i)) << i;
+  }
+  EXPECT_LT(run_dyn.mean_streamed_precision, 7.0);
+}
+
+TEST(Functional, FcLayerMatchesGoldenModel) {
+  SmallNet s = make_small_net();
+  // Run the net up to the FC input using the golden path.
+  nn::Tensor x = s.input;
+  const nn::WideTensor c1 = nn::conv_forward(x, s.weights[0], s.net.layer(0));
+  x = nn::requantize(c1, nn::choose_requant_shift(c1, 6), 6, true);
+  x = nn::pool_forward(x, s.net.layer(1));
+  const nn::WideTensor c2 = nn::conv_forward(x, s.weights[1], s.net.layer(2));
+  x = nn::requantize(c2, nn::choose_requant_shift(c2, 16), 16, true);
+
+  FunctionalLoomEngine engine(FunctionalOptions{});
+  const auto run = engine.run_fc(s.net.layer(3), x, s.weights[2], 16);
+  const nn::WideTensor golden = nn::fc_forward(x, s.weights[2], s.net.layer(3));
+  for (std::int64_t i = 0; i < golden.elements(); ++i) {
+    ASSERT_EQ(run.wide.flat(i), golden.flat(i)) << i;
+  }
+}
+
+TEST(Functional, WholeNetworkMatchesGoldenPipeline) {
+  SmallNet s = make_small_net();
+  FunctionalLoomEngine engine(FunctionalOptions{.rows = 8, .cols = 8});
+  const auto run = engine.run_network(s.net, s.input, s.weights);
+  ASSERT_EQ(run.layers.size(), 3u);
+  EXPECT_EQ(run.output.elements(), 10);
+  EXPECT_GT(run.total_cycles, 0u);
+
+  // Golden pipeline with identical requantization decisions.
+  nn::Tensor x = s.input;
+  const nn::WideTensor c1 = nn::conv_forward(x, s.weights[0], s.net.layer(0));
+  ASSERT_EQ(run.layers[0].out_bits, 6);  // consumer c2's profile Pa
+  x = nn::requantize(c1, run.layers[0].requant_shift, 6, true);
+  x = nn::pool_forward(x, s.net.layer(1));
+  const nn::WideTensor c2 = nn::conv_forward(x, s.weights[1], s.net.layer(2));
+  x = nn::requantize(c2, run.layers[1].requant_shift, 16, true);
+  const nn::WideTensor f1 = nn::fc_forward(x, s.weights[2], s.net.layer(3));
+  const nn::Tensor golden_out =
+      nn::requantize(f1, run.layers[2].requant_shift, 16, true);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(run.output.flat(i), golden_out.flat(i)) << i;
+  }
+}
+
+TEST(Functional, CyclesAgreeWithAnalyticModel) {
+  // The chunk-counting simulator and the actually-driven datapath must
+  // report the same cycles in static mode (up to the pipeline-fill
+  // constant) on a 16x16-grid-compatible layer.
+  nn::Network net("tiny", nn::Shape3{8, 16, 16});
+  net.add_conv("c", 16, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "tiny";
+  p.conv_act = {7};
+  p.conv_weight = 9;
+  quant::apply_profile(net, p);
+
+  nn::SyntheticSpec act{.precision = 7, .alpha = 2.0, .is_signed = false};
+  nn::SyntheticSpec wsp{.precision = 9, .alpha = 2.0, .is_signed = true};
+  const nn::Tensor input = nn::make_activation_tensor(net.layer(0).in, act, 1, 1);
+  const nn::Tensor weights =
+      nn::make_weight_tensor(net.layer(0).weight_count(), wsp, 2, 2);
+
+  FunctionalLoomEngine engine(
+      FunctionalOptions{.rows = 16, .cols = 16, .dynamic_act_precision = false});
+  const auto fun = engine.run_conv(net.layer(0), input, weights, 16);
+
+  arch::LoomConfig cfg;
+  cfg.equiv_macs = 16;  // rows = 16 like the functional grid
+  cfg.dynamic_act_precision = false;
+  LoomSimulator sim(cfg, SimOptions{});
+  NetworkWorkload wl(std::move(net), p);
+  const auto analytic = sim.run(wl);
+  EXPECT_NEAR(static_cast<double>(fun.cycles),
+              static_cast<double>(analytic.layers[0].compute_cycles), 16.0);
+}
+
+TEST(Functional, GroupedConvolutionSupported) {
+  nn::Network net("g", nn::Shape3{4, 6, 6});
+  net.add_conv("c", 8, 3, 1, 1, /*groups=*/2).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "g";
+  p.conv_act = {6};
+  p.conv_weight = 7;
+  quant::apply_profile(net, p);
+  nn::SyntheticSpec act{.precision = 6, .alpha = 1.5, .is_signed = false};
+  nn::SyntheticSpec wsp{.precision = 7, .alpha = 1.5, .is_signed = true};
+  const nn::Tensor input = nn::make_activation_tensor(net.layer(0).in, act, 3, 3);
+  const nn::Tensor weights =
+      nn::make_weight_tensor(net.layer(0).weight_count(), wsp, 4, 4);
+
+  FunctionalLoomEngine engine(FunctionalOptions{.rows = 4, .cols = 8});
+  const auto run = engine.run_conv(net.layer(0), input, weights, 16);
+  const nn::WideTensor golden = nn::conv_forward(input, weights, net.layer(0));
+  for (std::int64_t i = 0; i < golden.elements(); ++i) {
+    ASSERT_EQ(run.wide.flat(i), golden.flat(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace loom::sim

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/layer.hpp"
+
+namespace loom::nn {
+namespace {
+
+TEST(ConvOutExtent, FloorAndCeilModes) {
+  // (54 - 3) / 2 + 1: floor = 26, ceil = 27 (Caffe-style).
+  EXPECT_EQ(conv_out_extent(54, 3, 2, 0, false), 26);
+  EXPECT_EQ(conv_out_extent(54, 3, 2, 0, true), 27);
+  EXPECT_EQ(conv_out_extent(224, 11, 4, 0, false), 54);
+  EXPECT_EQ(conv_out_extent(227, 11, 4, 0, false), 55);
+}
+
+TEST(MakeConv, AlexNetConv1Geometry) {
+  const Layer l = make_conv("conv1", Shape3{3, 227, 227}, 96, 11, 4, 0);
+  EXPECT_EQ(l.out.c, 96);
+  EXPECT_EQ(l.out.h, 55);
+  EXPECT_EQ(l.out.w, 55);
+  EXPECT_EQ(l.weight_count(), 96 * 3 * 11 * 11);
+  EXPECT_EQ(l.macs(), 55LL * 55 * 96 * 3 * 11 * 11);  // 105,415,200
+  EXPECT_EQ(l.macs(), 105415200);
+  EXPECT_EQ(l.windows(), 55 * 55);
+  EXPECT_EQ(l.inner_length(), 363);
+}
+
+TEST(MakeConv, GroupedConvolutionSplitsChannels) {
+  // AlexNet conv2: 256 filters over 96 channels in 2 groups.
+  const Layer l = make_conv("conv2", Shape3{96, 27, 27}, 256, 5, 1, 2, 2);
+  EXPECT_EQ(l.group_in_channels(), 48);
+  EXPECT_EQ(l.group_out_channels(), 128);
+  EXPECT_EQ(l.inner_length(), 48 * 25);
+  EXPECT_EQ(l.macs(), 27LL * 27 * 256 * 48 * 25);  // 223,948,800
+  EXPECT_EQ(l.weight_count(), 256LL * 48 * 25);
+}
+
+TEST(MakeConv, PaddingPreservesExtent) {
+  const Layer l = make_conv("c", Shape3{8, 13, 13}, 16, 3, 1, 1);
+  EXPECT_EQ(l.out.h, 13);
+  EXPECT_EQ(l.out.w, 13);
+}
+
+TEST(MakeConv, InvalidGroupsThrow) {
+  EXPECT_THROW(make_conv("c", Shape3{3, 8, 8}, 4, 3, 1, 0, 2),
+               ContractViolation);  // 3 % 2 != 0
+}
+
+TEST(MakeFc, FlattensInput) {
+  const Layer l = make_fc("fc6", Shape3{256, 6, 6}, 4096);
+  EXPECT_EQ(l.in.elements(), 9216);
+  EXPECT_EQ(l.out.c, 4096);
+  EXPECT_EQ(l.macs(), 9216LL * 4096);
+  EXPECT_EQ(l.weight_count(), 9216LL * 4096);
+  EXPECT_EQ(l.windows(), 1);
+  EXPECT_EQ(l.inner_length(), 9216);
+}
+
+TEST(MakePool, CeilModeMatchesCaffe) {
+  const Layer l = make_pool("pool", Shape3{96, 54, 54}, PoolKind::kMax, 3, 2);
+  EXPECT_EQ(l.out.h, 27);
+  EXPECT_EQ(l.out.c, 96);
+  EXPECT_EQ(l.macs(), 0);
+  EXPECT_EQ(l.weight_count(), 0);
+  EXPECT_FALSE(l.has_weights());
+}
+
+TEST(MakePool, AveragePoolKind) {
+  const Layer l = make_pool("gap", Shape3{1000, 6, 6}, PoolKind::kAvg, 6, 1,
+                            0, false);
+  EXPECT_EQ(l.out.h, 1);
+  EXPECT_EQ(l.pool, PoolKind::kAvg);
+}
+
+TEST(Layer, DefaultPrecisionsAreBaseline) {
+  const Layer l = make_conv("c", Shape3{3, 8, 8}, 4, 3, 1, 0);
+  EXPECT_EQ(l.act_precision, 16);
+  EXPECT_EQ(l.weight_precision, 16);
+  EXPECT_EQ(l.precision_group, -1);
+}
+
+}  // namespace
+}  // namespace loom::nn

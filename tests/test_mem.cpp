@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mem/bitpacked.hpp"
+#include "mem/dram.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace loom::mem {
+namespace {
+
+TEST(Packed, PackedSmallerThanParallel) {
+  // 2048 13-bit weights: the §3.2 example. Packed = 13 rows of 2048 bits.
+  EXPECT_EQ(packed_bits(2048, 13), 13 * 2048);
+  EXPECT_EQ(parallel_bits(2048), 16 * 2048);
+  EXPECT_GT(compression_ratio(2048, 13), 1.2);
+}
+
+TEST(Packed, SixteenBitsHasNoBenefit) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1 << 20, 16), 1.0);
+}
+
+TEST(Packed, RowPaddingAccounted) {
+  // 100 values at 5 bits on a 2048-bit interface: one row per plane.
+  EXPECT_EQ(packed_bits(100, 5), 5 * 2048);
+}
+
+TEST(Packed, InvalidArgsThrow) {
+  EXPECT_THROW((void)packed_bits(10, 0), ContractViolation);
+  EXPECT_THROW((void)packed_bits(-1, 8), ContractViolation);
+}
+
+TEST(Dram, PeakBandwidthMath) {
+  DramChannel ch(DramConfig{.peak_gbps = 17.066, .efficiency = 1.0});
+  EXPECT_NEAR(ch.bytes_per_cycle(), 17.066, 1e-9);
+  // 17066 bytes at ~17 B/cycle -> ~1000 cycles.
+  const auto cycles = ch.cycles_for_bits(17066 * 8);
+  EXPECT_NEAR(static_cast<double>(cycles), 1000.0, 5.0);
+}
+
+TEST(Dram, EfficiencyScalesCycles) {
+  DramChannel full(DramConfig{.efficiency = 1.0});
+  DramChannel half(DramConfig{.efficiency = 0.5});
+  const std::uint64_t bits = 1 << 20;
+  EXPECT_NEAR(static_cast<double>(half.cycles_for_bits(bits)),
+              2.0 * static_cast<double>(full.cycles_for_bits(bits)), 2.0);
+}
+
+TEST(Dram, BurstGranularityRoundsUp) {
+  DramChannel ch(DramConfig{.peak_gbps = 8.0, .efficiency = 1.0,
+                            .burst_bytes = 64});
+  // 1 bit still costs a whole 64-byte burst.
+  EXPECT_EQ(ch.cycles_for_bits(1), ch.cycles_for_bits(64 * 8));
+  EXPECT_EQ(ch.cycles_for_bits(0), 0u);
+}
+
+TEST(Dram, InvalidConfigThrows) {
+  EXPECT_THROW(DramChannel(DramConfig{.peak_gbps = -1.0}), ContractViolation);
+  EXPECT_THROW(DramChannel(DramConfig{.efficiency = 0.0}), ContractViolation);
+}
+
+TEST(DefaultMemory, PaperSizing) {
+  // §4.5: DPNN needs 2 MB of AM; Loom's packed storage needs 1 MB.
+  const auto dpnn = default_memory_config(128, /*bit_packed=*/false);
+  const auto lm = default_memory_config(128, /*bit_packed=*/true);
+  EXPECT_EQ(dpnn.am_bytes, 2 << 20);
+  EXPECT_EQ(lm.am_bytes, 1 << 20);
+  // Figure 5 weight-memory labels: 512 KB at E=32 ... 8 MB at E=512.
+  EXPECT_EQ(default_memory_config(32, true).wm_bytes, 512 << 10);
+  EXPECT_EQ(default_memory_config(128, true).wm_bytes, 2 << 20);
+  EXPECT_EQ(default_memory_config(512, true).wm_bytes, 8 << 20);
+}
+
+TEST(MemorySystem, FitsAndTraffic) {
+  MemorySystemConfig cfg = default_memory_config(128, true);
+  MemorySystem mem(cfg);
+  EXPECT_TRUE(mem.activations_fit(cfg.am_bytes * 8));
+  EXPECT_FALSE(mem.activations_fit(cfg.am_bytes * 8 + 1));
+
+  const auto cycles = mem.offchip_read(1 << 20);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_EQ(mem.offchip_traffic().read_bits, 1u << 20);
+  mem.offchip_write(100);
+  EXPECT_EQ(mem.offchip_traffic().write_bits, 100u);
+}
+
+TEST(Buffers, CountersAccumulate) {
+  SramBuffer buf("ABin", 8192 * 8, 256);
+  buf.read(256);
+  buf.read(256);
+  buf.write(100);
+  EXPECT_EQ(buf.traffic().read_bits, 512u);
+  EXPECT_EQ(buf.traffic().read_ops, 2u);
+  EXPECT_EQ(buf.traffic().write_bits, 100u);
+  buf.reset();
+  EXPECT_EQ(buf.traffic().total_bits(), 0u);
+}
+
+TEST(Edram, CapacityCheck) {
+  EdramArray am("AM", 1 << 23, 256);
+  EXPECT_TRUE(am.fits(1 << 23));
+  EXPECT_FALSE(am.fits((1 << 23) + 1));
+}
+
+TEST(Traffic, MergeCombines) {
+  TrafficCounters a, b;
+  a.add_read(10);
+  b.add_write(20);
+  a.merge(b);
+  EXPECT_EQ(a.total_bits(), 30u);
+  EXPECT_EQ(a.write_ops, 1u);
+}
+
+}  // namespace
+}  // namespace loom::mem

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "quant/metadata.hpp"
+
+namespace loom::quant {
+namespace {
+
+TEST(GroupMetadata, EncodeValuesKnownGroups) {
+  const std::vector<Value> values = {1, -1, 3, 0,      // 3 bits (value 3)
+                                     100, 2, 0, -1,    // 8 bits (100)
+                                     -128, 0, 0, 0};   // 8 bits (-128)
+  const GroupMetadata md = GroupMetadata::encode_values(values, 4);
+  ASSERT_EQ(md.groups(), 3);
+  EXPECT_EQ(md.group_precision(0), 3);
+  EXPECT_EQ(md.group_precision(1), 8);
+  EXPECT_EQ(md.group_precision(2), 8);
+  EXPECT_EQ(md.metadata_bits(), 12);
+  EXPECT_EQ(md.packed_value_bits(), (3 + 8 + 8) * 4);
+  EXPECT_DOUBLE_EQ(md.mean_precision(), 19.0 / 3.0);
+}
+
+TEST(GroupMetadata, StreamedEncodeMatchesValues) {
+  nn::SyntheticSpec spec{.precision = 9, .alpha = 4.0, .is_signed = true};
+  const nn::SyntheticSource src(5, 5, spec);
+  constexpr std::int64_t kCount = 1024;
+  std::vector<Value> values(kCount);
+  for (std::int64_t i = 0; i < kCount; ++i) {
+    values[static_cast<std::size_t>(i)] = src.at(static_cast<std::uint64_t>(i));
+  }
+  const GroupMetadata a = GroupMetadata::encode(src, kCount, 16);
+  const GroupMetadata b = GroupMetadata::encode_values(values, 16);
+  ASSERT_EQ(a.groups(), b.groups());
+  for (std::int64_t g = 0; g < a.groups(); ++g) {
+    EXPECT_EQ(a.group_precision(g), b.group_precision(g)) << g;
+  }
+}
+
+TEST(GroupMetadata, PartialFinalGroup) {
+  const std::vector<Value> values = {1, 1, 1, 1, 1, 63};
+  const GroupMetadata md = GroupMetadata::encode_values(values, 4);
+  ASSERT_EQ(md.groups(), 2);
+  EXPECT_EQ(md.group_precision(1), 7);
+  // Packed bits charge the full group width (hardware lane granularity).
+  EXPECT_EQ(md.packed_value_bits(), 2 * 4 + 7 * 4);
+}
+
+TEST(GroupMetadata, BoundsChecked) {
+  const std::vector<Value> values = {1};
+  const GroupMetadata md = GroupMetadata::encode_values(values, 4);
+  EXPECT_THROW((void)md.group_precision(1), ContractViolation);
+}
+
+TEST(WeightFootprint, PerGroupBeatsPerLayerOnSkewedData) {
+  nn::SyntheticSpec spec{.precision = 11, .alpha = 30.0, .is_signed = true};
+  const nn::SyntheticSource src(7, 7, spec);
+  const FootprintReport r = weight_footprint(src, 1 << 16, 11, 16);
+  EXPECT_EQ(r.baseline_bits, (1 << 16) * 16);
+  EXPECT_EQ(r.per_layer_bits, (1 << 16) * 11);
+  EXPECT_GT(r.per_group_ratio, r.per_layer_ratio);
+  EXPECT_GT(r.per_layer_ratio, 1.0);
+}
+
+TEST(WeightFootprint, MetadataOverheadCannotBeBeatenOnUniformData) {
+  // If every group needs the full layer precision, per-group packing pays
+  // the metadata for nothing.
+  nn::SyntheticSpec spec{.precision = 8, .alpha = 1.0, .is_signed = true};
+  const nn::SyntheticSource src(9, 9, spec);
+  const FootprintReport r = weight_footprint(src, 1 << 16, 8, 16);
+  EXPECT_LE(r.per_group_ratio, r.per_layer_ratio * 1.02);
+}
+
+}  // namespace
+}  // namespace loom::quant

@@ -1,0 +1,217 @@
+// Property-based sweeps over architecture scales, precisions and layer
+// geometries: invariants the cycle models must satisfy everywhere, not just
+// on the paper's networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dpnn_sim.hpp"
+#include "sim/loom_sim.hpp"
+#include "sim/stripes_sim.hpp"
+#include "sim/workload.hpp"
+
+namespace loom::sim {
+namespace {
+
+NetworkWorkload conv_case(int ci, int hw, int co, int pa, int pw) {
+  nn::Network net("custom", nn::Shape3{ci, hw, hw});
+  net.add_conv("c", co, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.conv_act = {pa};
+  p.conv_weight = pw;
+  quant::apply_profile(net, p);
+  return NetworkWorkload(std::move(net), p);
+}
+
+NetworkWorkload fc_case(int ci, int co, int pw) {
+  nn::Network net("custom", nn::Shape3{ci, 1, 1});
+  net.add_fc("f", co);
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.fc_weight = {pw};
+  quant::apply_profile(net, p);
+  return NetworkWorkload(std::move(net), p);
+}
+
+struct ConvSweep {
+  int equiv_macs;
+  int bits_per_cycle;
+  int co;
+  int pa;
+  int pw;
+};
+
+class LoomConvProperties : public ::testing::TestWithParam<ConvSweep> {};
+
+TEST_P(LoomConvProperties, Invariants) {
+  const ConvSweep c = GetParam();
+  NetworkWorkload wl = conv_case(8, 16, c.co, c.pa, c.pw);
+
+  arch::LoomConfig lcfg;
+  lcfg.equiv_macs = c.equiv_macs;
+  lcfg.bits_per_cycle = c.bits_per_cycle;
+  lcfg.dynamic_act_precision = false;
+  arch::DpnnConfig dcfg;
+  dcfg.equiv_macs = c.equiv_macs;
+
+  LoomSimulator lm(lcfg, SimOptions{});
+  DpnnSimulator dp(dcfg, SimOptions{});
+  const RunResult rl = lm.run(wl);
+  const RunResult rd = dp.run(wl);
+
+  // 1. Loom never loses to the baseline at matched peak compute when the
+  //    filter rows are fully used (the paper's worst case is parity).
+  if (c.co % c.equiv_macs == 0) {
+    EXPECT_LE(rl.cycles(RunResult::Filter::kConv),
+              rd.cycles(RunResult::Filter::kConv) + 64)
+        << "E=" << c.equiv_macs << " pa=" << c.pa << " pw=" << c.pw;
+  }
+
+  // 2. Utilization is a fraction.
+  EXPECT_GT(rl.layers[0].utilization, 0.0);
+  EXPECT_LE(rl.layers[0].utilization, 1.0 + 1e-9);
+
+  // 3. Work conservation: every MAC is accounted once.
+  EXPECT_EQ(rl.macs(RunResult::Filter::kConv), wl.network().conv_macs());
+
+  // 4. Energy is positive and finite.
+  const double e = rl.energy_pj(RunResult::Filter::kConv);
+  EXPECT_GT(e, 0.0);
+  EXPECT_TRUE(std::isfinite(e));
+
+  // 5. Loom's lane-bit work never exceeds the ideal pa*pw per MAC.
+  const auto activity = rl.activity(RunResult::Filter::kConv);
+  EXPECT_LE(activity.sip_lane_bit_ops,
+            static_cast<std::uint64_t>(rl.macs(RunResult::Filter::kConv)) *
+                static_cast<std::uint64_t>(c.pa) *
+                static_cast<std::uint64_t>(c.pw));
+}
+
+std::vector<ConvSweep> conv_sweep_cases() {
+  std::vector<ConvSweep> cases;
+  for (const int e : {32, 128, 256}) {
+    for (const int bits : {1, 2, 4}) {
+      for (const int co : {32, 128, 256}) {
+        for (const int pa : {4, 8, 13, 16}) {
+          cases.push_back({e, bits, co, pa, 11});
+        }
+      }
+    }
+  }
+  cases.push_back({128, 1, 128, 16, 16});  // worst case parity
+  cases.push_back({128, 1, 128, 1, 1});    // extreme trim
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LoomConvProperties,
+                         ::testing::ValuesIn(conv_sweep_cases()));
+
+class MonotonicityInPrecision : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityInPrecision, CyclesNonDecreasingInPaAndPw) {
+  const int bits = GetParam();
+  arch::LoomConfig cfg;
+  cfg.bits_per_cycle = bits;
+  cfg.dynamic_act_precision = false;
+  LoomSimulator lm(cfg, SimOptions{});
+
+  std::uint64_t prev = 0;
+  for (int pa = 1; pa <= 16; ++pa) {
+    NetworkWorkload wl = conv_case(8, 16, 128, pa, 10);
+    const auto cycles = lm.run(wl).cycles(RunResult::Filter::kConv);
+    EXPECT_GE(cycles, prev) << "pa=" << pa;
+    prev = cycles;
+  }
+  prev = 0;
+  for (int pw = 1; pw <= 16; ++pw) {
+    NetworkWorkload wl = conv_case(8, 16, 128, 8, pw);
+    const auto cycles = lm.run(wl).cycles(RunResult::Filter::kConv);
+    EXPECT_GE(cycles, prev) << "pw=" << pw;
+    prev = cycles;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitVariants, MonotonicityInPrecision,
+                         ::testing::Values(1, 2, 4));
+
+struct FcSweep {
+  int ci;
+  int co;
+  int pw;
+};
+
+class LoomFcProperties : public ::testing::TestWithParam<FcSweep> {};
+
+TEST_P(LoomFcProperties, Invariants) {
+  const FcSweep c = GetParam();
+  NetworkWorkload wl = fc_case(c.ci, c.co, c.pw);
+  arch::LoomConfig cfg;
+  cfg.dynamic_act_precision = false;
+  LoomSimulator lm(cfg, SimOptions{});
+  DpnnSimulator dp(arch::DpnnConfig{}, SimOptions{});
+  const RunResult rl = lm.run(wl);
+  const RunResult rd = dp.run(wl);
+
+  // FCL speedup is bounded by 16/pw and degrades only via utilization.
+  const double speedup = speedup_vs(rl, rd, RunResult::Filter::kFc);
+  EXPECT_LE(speedup, 16.0 / c.pw + 0.05);
+  EXPECT_GT(speedup, 0.1);
+
+  // Cascading keeps utilization above the no-cascading floor co/sips.
+  const double floor = static_cast<double>(c.co) / 2048.0;
+  EXPECT_GE(rl.layers[0].utilization, std::min(0.9, floor) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoomFcProperties,
+    ::testing::Values(FcSweep{1024, 4096, 8}, FcSweep{1024, 1000, 7},
+                      FcSweep{9216, 4096, 10}, FcSweep{4096, 512, 16},
+                      FcSweep{256, 128, 9}, FcSweep{4096, 2048, 1}));
+
+TEST(StripesProperties, NeverSlowerThanBaselineOnConv) {
+  for (const int pa : {1, 4, 9, 16}) {
+    NetworkWorkload wl = conv_case(8, 16, 64, pa, 12);
+    arch::StripesConfig scfg;
+    scfg.dynamic_act_precision = false;
+    StripesSimulator st(scfg, SimOptions{});
+    DpnnSimulator dp(arch::DpnnConfig{}, SimOptions{});
+    EXPECT_LE(st.run(wl).cycles(RunResult::Filter::kConv),
+              dp.run(wl).cycles(RunResult::Filter::kConv) + 64)
+        << pa;
+  }
+}
+
+TEST(CrossArchProperties, LoomBeatsStripesWheneverWeightsAreNarrow) {
+  // With Pw < 16 and matched utilization, Loom's weight-serial dimension
+  // is pure profit over Stripes.
+  for (const int pw : {8, 11, 15}) {
+    NetworkWorkload wl_lm = conv_case(8, 16, 128, 8, pw);
+    NetworkWorkload wl_st = conv_case(8, 16, 128, 8, pw);
+    arch::LoomConfig lcfg;
+    lcfg.dynamic_act_precision = false;
+    arch::StripesConfig scfg;
+    scfg.dynamic_act_precision = false;
+    LoomSimulator lm(lcfg, SimOptions{});
+    StripesSimulator st(scfg, SimOptions{});
+    EXPECT_LT(lm.run(wl_lm).cycles(RunResult::Filter::kConv),
+              st.run(wl_st).cycles(RunResult::Filter::kConv))
+        << pw;
+  }
+}
+
+TEST(CrossArchProperties, SpeedupsScaleInverselyWithPrecisionProduct) {
+  // Doubling Pa x Pw halves Loom's conv speedup (the paper's headline law).
+  NetworkWorkload a = conv_case(8, 16, 128, 4, 8);
+  NetworkWorkload b = conv_case(8, 16, 128, 8, 8);
+  arch::LoomConfig cfg;
+  cfg.dynamic_act_precision = false;
+  LoomSimulator lm(cfg, SimOptions{});
+  DpnnSimulator dp(arch::DpnnConfig{}, SimOptions{});
+  const double sa = speedup_vs(lm.run(a), dp.run(a), RunResult::Filter::kConv);
+  const double sb = speedup_vs(lm.run(b), dp.run(b), RunResult::Filter::kConv);
+  EXPECT_NEAR(sa / sb, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace loom::sim

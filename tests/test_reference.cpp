@@ -1,0 +1,171 @@
+// Golden-model tests: the reference executor is what every datapath and
+// simulator functional claim is checked against, so it gets hand-computed
+// cases for each geometry feature (padding, stride, groups, pooling).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/reference.hpp"
+#include "nn/synthetic.hpp"
+
+namespace loom::nn {
+namespace {
+
+Tensor filled(Shape shape, std::initializer_list<int> values) {
+  Tensor t(std::move(shape));
+  std::int64_t i = 0;
+  for (const int v : values) t.set_flat(i++, static_cast<Value>(v));
+  return t;
+}
+
+TEST(ConvForward, IdentityKernelCopiesInput) {
+  // 1x1 kernel with weight 1: output == input.
+  const Layer l = make_conv("c", Shape3{1, 3, 3}, 1, 1, 1, 0);
+  const Tensor in = filled(Shape{1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor w = filled(Shape{1}, {1});
+  const WideTensor out = conv_forward(in, w, l);
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_EQ(out.flat(i), in.flat(i));
+}
+
+TEST(ConvForward, HandComputed3x3) {
+  const Layer l = make_conv("c", Shape3{1, 3, 3}, 1, 3, 1, 0);
+  const Tensor in = filled(Shape{1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor w = filled(Shape{9}, {1, 0, -1, 1, 0, -1, 1, 0, -1});
+  const WideTensor out = conv_forward(in, w, l);
+  EXPECT_EQ(out.elements(), 1);
+  // Column sums: (1+4+7) - (3+6+9) = -6.
+  EXPECT_EQ(out.flat(0), -6);
+}
+
+TEST(ConvForward, ZeroPaddingContributesNothing) {
+  const Layer l = make_conv("c", Shape3{1, 2, 2}, 1, 3, 1, 1);
+  const Tensor in = filled(Shape{1, 2, 2}, {1, 1, 1, 1});
+  Tensor w(Shape{9}, 1);  // all-ones kernel
+  const WideTensor out = conv_forward(in, w, l);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  // Each output sees the 4 real ones only.
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(out.flat(i), 4);
+}
+
+TEST(ConvForward, StrideSkipsWindows) {
+  const Layer l = make_conv("c", Shape3{1, 4, 4}, 1, 2, 2, 0);
+  Tensor in(Shape{1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) in.set_flat(i, static_cast<Value>(i));
+  Tensor w(Shape{4}, 1);
+  const WideTensor out = conv_forward(in, w, l);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  EXPECT_EQ(out.flat(0), 0 + 1 + 4 + 5);
+  EXPECT_EQ(out.flat(3), 10 + 11 + 14 + 15);
+}
+
+TEST(ConvForward, GroupedConvolutionIsolatesChannels) {
+  // 2 groups: filter 0 sees channel 0 only; filter 1 sees channel 1 only.
+  const Layer l = make_conv("c", Shape3{2, 1, 1}, 2, 1, 1, 0, 2);
+  const Tensor in = filled(Shape{2, 1, 1}, {3, 5});
+  const Tensor w = filled(Shape{2}, {2, 7});
+  const WideTensor out = conv_forward(in, w, l);
+  EXPECT_EQ(out.flat(0), 6);   // 3*2
+  EXPECT_EQ(out.flat(1), 35);  // 5*7
+}
+
+TEST(ConvForward, MultiChannelAccumulates) {
+  const Layer l = make_conv("c", Shape3{3, 1, 1}, 1, 1, 1, 0);
+  const Tensor in = filled(Shape{3, 1, 1}, {1, 2, 3});
+  const Tensor w = filled(Shape{3}, {4, 5, 6});
+  const WideTensor out = conv_forward(in, w, l);
+  EXPECT_EQ(out.flat(0), 4 + 10 + 18);
+}
+
+TEST(FcForward, MatrixVectorProduct) {
+  const Layer l = make_fc("f", Shape3{4, 1, 1}, 2);
+  const Tensor in = filled(Shape{4, 1, 1}, {1, 2, 3, 4});
+  const Tensor w = filled(Shape{8}, {1, 0, 0, 0, 1, 1, 1, 1});
+  const WideTensor out = fc_forward(in, w, l);
+  EXPECT_EQ(out.flat(0), 1);
+  EXPECT_EQ(out.flat(1), 10);
+}
+
+TEST(FcForward, NegativeWeights) {
+  const Layer l = make_fc("f", Shape3{2, 1, 1}, 1);
+  const Tensor in = filled(Shape{2, 1, 1}, {10, 3});
+  const Tensor w = filled(Shape{2}, {-1, 2});
+  EXPECT_EQ(fc_forward(in, w, l).flat(0), -4);
+}
+
+TEST(PoolForward, MaxPooling) {
+  const Layer l = make_pool("p", Shape3{1, 2, 2}, PoolKind::kMax, 2, 2);
+  const Tensor in = filled(Shape{1, 2, 2}, {1, 9, -3, 4});
+  const Tensor out = pool_forward(in, l);
+  EXPECT_EQ(out.elements(), 1);
+  EXPECT_EQ(out.flat(0), 9);
+}
+
+TEST(PoolForward, AveragePoolingCountsRealElements) {
+  const Layer l = make_pool("p", Shape3{1, 2, 2}, PoolKind::kAvg, 2, 2);
+  const Tensor in = filled(Shape{1, 2, 2}, {2, 4, 6, 8});
+  EXPECT_EQ(pool_forward(in, l).flat(0), 5);
+}
+
+TEST(PoolForward, NegativeMaxWorks) {
+  const Layer l = make_pool("p", Shape3{1, 2, 2}, PoolKind::kMax, 2, 2, 0);
+  Tensor in = filled(Shape{1, 2, 2}, {-7, -2, -9, -5});
+  // The max of negatives must not be clamped to 0.
+  EXPECT_EQ(pool_forward(in, l).flat(0), -2);
+}
+
+TEST(Requantize, ShiftReluSaturate) {
+  WideTensor acc(Shape{4});
+  acc.set_flat(0, 1024);
+  acc.set_flat(1, -1024);
+  acc.set_flat(2, 70000);
+  acc.set_flat(3, 5);
+  const Tensor out = requantize(acc, /*shift=*/2, /*out_bits=*/8, /*relu=*/true);
+  EXPECT_EQ(out.flat(0), 127);  // 256 saturates to 127
+  EXPECT_EQ(out.flat(1), 0);    // ReLU
+  EXPECT_EQ(out.flat(2), 127);
+  EXPECT_EQ(out.flat(3), 1);    // 5 >> 2
+}
+
+TEST(Requantize, NoReluKeepsNegatives) {
+  WideTensor acc(Shape{1});
+  acc.set_flat(0, -40);
+  EXPECT_EQ(requantize(acc, 2, 8, false).flat(0), -10);
+}
+
+TEST(ChooseRequantShift, BringsPeakInRange) {
+  WideTensor acc(Shape{2});
+  acc.set_flat(0, 100000);
+  acc.set_flat(1, -50);
+  const int shift = choose_requant_shift(acc, 8);
+  EXPECT_LE(100000 >> shift, 127);
+  EXPECT_GT(100000 >> (shift - 1), 127);
+}
+
+TEST(ConvForward, ShapeMismatchThrows) {
+  const Layer l = make_conv("c", Shape3{1, 3, 3}, 1, 3, 1, 0);
+  const Tensor in(Shape{1, 4, 4});
+  const Tensor w(Shape{9});
+  EXPECT_THROW((void)conv_forward(in, w, l), ContractViolation);
+}
+
+// Cross-check: reference conv on random data distributes over filters.
+TEST(ConvForward, LinearInWeights) {
+  const Layer l = make_conv("c", Shape3{2, 5, 5}, 2, 3, 1, 1);
+  SyntheticSpec aspec{.precision = 6, .alpha = 1.0, .is_signed = false};
+  SyntheticSpec wspec{.precision = 5, .alpha = 1.0, .is_signed = true};
+  const Tensor in = make_activation_tensor(l.in, aspec, 1, 1);
+  const Tensor w1 = make_weight_tensor(l.weight_count(), wspec, 2, 2);
+  const Tensor w2 = make_weight_tensor(l.weight_count(), wspec, 3, 3);
+  Tensor wsum(Shape{l.weight_count()});
+  for (std::int64_t i = 0; i < l.weight_count(); ++i) {
+    wsum.set_flat(i, static_cast<Value>(w1.flat(i) + w2.flat(i)));
+  }
+  const WideTensor o1 = conv_forward(in, w1, l);
+  const WideTensor o2 = conv_forward(in, w2, l);
+  const WideTensor os = conv_forward(in, wsum, l);
+  for (std::int64_t i = 0; i < os.elements(); ++i) {
+    EXPECT_EQ(os.flat(i), o1.flat(i) + o2.flat(i));
+  }
+}
+
+}  // namespace
+}  // namespace loom::nn

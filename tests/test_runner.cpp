@@ -1,0 +1,140 @@
+// End-to-end integration through the public API: the runner reproduces the
+// paper's qualitative results on AlexNet within generous bands.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/loom.hpp"
+
+namespace loom::core {
+namespace {
+
+TEST(Runner, RosterNamesFollowOptions) {
+  RunnerOptions opts;
+  opts.include_dstripes = true;
+  ExperimentRunner runner(opts);
+  const auto names = runner.roster_names();
+  ASSERT_EQ(names.size(), 5u);  // Stripes, DStripes, LM1b, LM2b, LM4b
+  EXPECT_NE(names[0].find("Stripes"), std::string::npos);
+  EXPECT_NE(names[1].find("DStripes"), std::string::npos);
+  EXPECT_NE(names[2].find("LM1b"), std::string::npos);
+}
+
+TEST(Runner, AlexNetReproducesPaperBands) {
+  ExperimentRunner runner;
+  const sim::Comparison cmp = runner.compare({"alexnet"});
+  const auto find = [&](const std::string& prefix, sim::RunResult::Filter f) {
+    for (const auto& e : cmp.entries(f)) {
+      if (e.arch.rfind(prefix, 0) == 0) return e;
+    }
+    ADD_FAILURE() << "missing " << prefix;
+    return cmp.entries(f).front();
+  };
+
+  // Paper Table 2, AlexNet 100%: FCL LM1b 1.65, CVL LM1b 4.25,
+  // CVL Stripes 2.34.
+  const auto fc_lm1 = find("LM1b", sim::RunResult::Filter::kFc);
+  EXPECT_NEAR(fc_lm1.perf, 1.65, 0.08);
+  const auto cv_lm1 = find("LM1b", sim::RunResult::Filter::kConv);
+  EXPECT_NEAR(cv_lm1.perf, 4.25, 0.35);
+  const auto cv_st = find("Stripes", sim::RunResult::Filter::kConv);
+  EXPECT_NEAR(cv_st.perf, 2.34, 0.15);
+
+  // Orderings the paper reports: LM1b fastest on CVLs, the multi-bit
+  // variants slower but (at 4b vs 1b) more energy-efficient; Stripes gains
+  // nothing on FCLs.
+  const auto cv_lm2 = find("LM2b", sim::RunResult::Filter::kConv);
+  const auto cv_lm4 = find("LM4b", sim::RunResult::Filter::kConv);
+  EXPECT_GT(cv_lm1.perf, cv_lm2.perf);
+  EXPECT_GT(cv_lm2.perf, cv_lm4.perf);
+  EXPECT_GT(cv_lm4.eff, cv_lm1.eff);
+  const auto fc_st = find("Stripes", sim::RunResult::Filter::kFc);
+  EXPECT_NEAR(fc_st.perf, 1.0, 0.02);
+  EXPECT_LT(fc_st.eff, 1.0);
+}
+
+TEST(Runner, NinHasNoFcEntries) {
+  ExperimentRunner runner;
+  const sim::Comparison cmp = runner.compare({"nin"});
+  EXPECT_TRUE(cmp.entries(sim::RunResult::Filter::kFc).empty());
+  EXPECT_FALSE(cmp.entries(sim::RunResult::Filter::kConv).empty());
+}
+
+TEST(Runner, GeomeansAggregateAcrossNetworks) {
+  ExperimentRunner runner;
+  const sim::Comparison cmp = runner.compare({"alexnet", "nin"});
+  const auto names = runner.roster_names();
+  const auto g = cmp.geomeans(names.back(), sim::RunResult::Filter::kConv);
+  EXPECT_GT(g.perf, 1.0);
+  EXPECT_GT(g.eff, 1.0);
+}
+
+TEST(Runner, PerGroupModeBeatsProfileMode) {
+  RunnerOptions base;
+  base.loom_bits = {1};
+  base.include_stripes = false;
+  RunnerOptions grouped = base;
+  grouped.per_group_weights = true;
+  ExperimentRunner r_base(base);
+  ExperimentRunner r_grouped(grouped);
+  const auto cmp_base = r_base.compare({"alexnet"});
+  const auto cmp_grouped = r_grouped.compare({"alexnet"});
+  const auto all = sim::RunResult::Filter::kAll;
+  EXPECT_GT(cmp_grouped.entries(all)[0].perf, cmp_base.entries(all)[0].perf);
+}
+
+TEST(Runner, RunSingleMatchesComparisonBaseline) {
+  ExperimentRunner runner;
+  const auto dpnn = runner.run_single("dpnn", "alexnet");
+  const auto lm1 = runner.run_single("lm1b", "alexnet");
+  EXPECT_GT(dpnn.cycles(sim::RunResult::Filter::kAll),
+            lm1.cycles(sim::RunResult::Filter::kAll));
+  EXPECT_THROW((void)runner.run_single("tpu", "alexnet"), ConfigError);
+}
+
+TEST(Runner, The99ProfileIsFasterThan100) {
+  RunnerOptions o100;
+  o100.loom_bits = {1};
+  o100.include_stripes = false;
+  RunnerOptions o99 = o100;
+  o99.target = quant::AccuracyTarget::k99;
+  ExperimentRunner r100(o100);
+  ExperimentRunner r99(o99);
+  const auto all = sim::RunResult::Filter::kAll;
+  const double p100 = r100.compare({"alexnet"}).entries(all)[0].perf;
+  const double p99 = r99.compare({"alexnet"}).entries(all)[0].perf;
+  EXPECT_GE(p99, p100);
+}
+
+TEST(Reports, FormattersProduceTables) {
+  ExperimentRunner runner;
+  const auto cmp = runner.compare({"alexnet"});
+  const auto names = runner.roster_names();
+  const std::string t2 = format_table2(cmp, names, "Test");
+  EXPECT_NE(t2.find("FULLY-CONNECTED"), std::string::npos);
+  EXPECT_NE(t2.find("CONVOLUTIONAL"), std::string::npos);
+  EXPECT_NE(t2.find("alexnet"), std::string::npos);
+  EXPECT_NE(t2.find("geomean"), std::string::npos);
+
+  const std::string t1 = format_table1();
+  EXPECT_NE(t1.find("9-8-5-5-7"), std::string::npos);  // AlexNet 100% acts
+
+  const auto run = runner.run_single("lm1b", "alexnet");
+  const std::string breakdown = format_layer_breakdown(run);
+  EXPECT_NE(breakdown.find("conv1"), std::string::npos);
+  EXPECT_NE(breakdown.find("fc8"), std::string::npos);
+}
+
+TEST(Options, ParsesFlagsAndLists) {
+  const char* argv[] = {"prog", "--equiv=256", "--offchip",
+                        "--networks=alexnet,nin", "positional"};
+  const Options opts(5, argv);
+  EXPECT_EQ(opts.get_int("equiv", 128), 256);
+  EXPECT_TRUE(opts.get_bool("offchip", false));
+  EXPECT_EQ(opts.get_list("networks", {}).size(), 2u);
+  EXPECT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(opts.get_double("missing", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace loom::core

@@ -1,0 +1,179 @@
+// The central datapath claim: a SIP computing bit-serially over Pa x Pw
+// cycles produces exactly the inner product the bit-parallel reference
+// computes. Swept over all precision combinations and operand signednesses.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/sip.hpp"
+#include "common/rng.hpp"
+
+namespace loom::arch {
+namespace {
+
+Wide reference_dot(const std::vector<Value>& a, const std::vector<Value>& w) {
+  Wide acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<Wide>(a[i]) * static_cast<Wide>(w[i]);
+  }
+  return acc;
+}
+
+std::vector<Value> random_values(SequentialRng& rng, int n, int bits,
+                                 bool is_signed) {
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (auto& v : out) {
+    if (is_signed) {
+      const std::int64_t range = (std::int64_t{1} << bits);  // [-2^(b-1), 2^(b-1))
+      v = static_cast<Value>(static_cast<std::int64_t>(rng.next_below(
+              static_cast<std::uint64_t>(range))) -
+          (range >> 1));
+    } else {
+      v = static_cast<Value>(rng.next_below(std::uint64_t{1} << bits));
+    }
+  }
+  return out;
+}
+
+TEST(Sip, SingleLaneMinimalPrecisions) {
+  Sip sip(SipConfig{.lanes = 1, .act_signed = false, .weight_signed = true});
+  // +1 needs two signed bits (sign + magnitude).
+  const std::vector<Value> a = {1};
+  const std::vector<Value> w_pos = {1};
+  EXPECT_EQ(sip_inner_product(sip, a, w_pos, 1, 2), 1);
+  // -1 is the one value expressible in a single signed bit.
+  const std::vector<Value> w_neg = {-1};
+  EXPECT_EQ(sip_inner_product(sip, a, w_neg, 1, 1), -1);
+}
+
+TEST(Sip, NegativeWeightMsbNegation) {
+  Sip sip(SipConfig{.lanes = 2});
+  const std::vector<Value> a = {3, 5};
+  const std::vector<Value> w = {-2, 4};  // needs 4 bits signed
+  EXPECT_EQ(sip_inner_product(sip, a, w, 3, 4), 3 * -2 + 5 * 4);
+}
+
+TEST(Sip, AllZeros) {
+  Sip sip(SipConfig{});
+  const std::vector<Value> a(16, 0);
+  const std::vector<Value> w(16, 0);
+  EXPECT_EQ(sip_inner_product(sip, a, w, 1, 1), 0);
+}
+
+TEST(Sip, ExtremeValuesAtFullPrecision) {
+  Sip sip(SipConfig{.lanes = 2, .act_signed = true});
+  const std::vector<Value> a = {32767, -32768};
+  const std::vector<Value> w = {-32768, 32767};
+  EXPECT_EQ(sip_inner_product(sip, a, w, 16, 16),
+            Wide{32767} * -32768 + Wide{-32768} * 32767);
+}
+
+TEST(Sip, CyclesEqualPaTimesPw) {
+  Sip sip(SipConfig{});
+  const std::vector<Value> a(16, 3);
+  const std::vector<Value> w(16, 2);
+  (void)sip_inner_product(sip, a, w, 5, 7);
+  EXPECT_EQ(sip.cycles(), 35u);
+}
+
+TEST(Sip, CascadeAccumulatesPartial) {
+  Sip sip(SipConfig{.lanes = 2});
+  const std::vector<Value> a = {1, 2};
+  const std::vector<Value> w = {3, 4};
+  const Wide own = sip_inner_product(sip, a, w, 3, 4);
+  sip.cascade_in(100);
+  EXPECT_EQ(sip.output(), own + 100);
+}
+
+TEST(Sip, MaxUnitComparator) {
+  Sip sip(SipConfig{.lanes = 1});
+  const std::vector<Value> a = {2};
+  const std::vector<Value> w = {3};
+  (void)sip_inner_product(sip, a, w, 2, 3);  // OR = 6
+  EXPECT_EQ(sip.max_unit(4), 6);
+  EXPECT_EQ(sip.max_unit(9), 9);
+}
+
+struct SweepCase {
+  int pa;
+  int pw;
+  bool act_signed;
+};
+
+class SipPrecisionSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SipPrecisionSweep, MatchesReferenceOnRandomVectors) {
+  const SweepCase c = GetParam();
+  SequentialRng rng(0xC0FFEE ^ (static_cast<std::uint64_t>(c.pa) << 8) ^
+                    static_cast<std::uint64_t>(c.pw));
+  Sip sip(SipConfig{.lanes = 16, .act_signed = c.act_signed,
+                    .weight_signed = true});
+  for (int trial = 0; trial < 24; ++trial) {
+    // Unsigned activations use pa magnitude bits; signed use pa incl. sign.
+    const auto a = c.act_signed
+                       ? random_values(rng, 16, c.pa - 1, true)
+                       : random_values(rng, 16, c.pa, false);
+    const auto w = random_values(rng, 16, c.pw - 1, true);
+    const Wide got = sip_inner_product(sip, a, w, c.pa, c.pw);
+    EXPECT_EQ(got, reference_dot(a, w))
+        << "pa=" << c.pa << " pw=" << c.pw << " trial=" << trial;
+  }
+}
+
+std::vector<SweepCase> all_precision_pairs() {
+  std::vector<SweepCase> cases;
+  // Unsigned activations cap at 15 magnitude bits in a 16-bit container.
+  for (int pa = 2; pa <= 15; ++pa) {
+    for (int pw = 2; pw <= 16; pw += 3) {
+      cases.push_back({pa, pw, false});
+    }
+  }
+  // Signed activations (the SIP supports them even though post-ReLU conv
+  // activations are unsigned).
+  for (int pa = 2; pa <= 16; pa += 2) {
+    cases.push_back({pa, 8, true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, SipPrecisionSweep,
+                         ::testing::ValuesIn(all_precision_pairs()));
+
+TEST(Sip, PartialLanesReadAsZero) {
+  Sip sip(SipConfig{.lanes = 16});
+  const std::vector<Value> a = {7, 3};  // only 2 of 16 lanes carry data
+  const std::vector<Value> w = {2, -1};
+  EXPECT_EQ(sip_inner_product(sip, a, w, 4, 3), 7 * 2 - 3);
+}
+
+TEST(Sip, MultiChunkAccumulationInOr) {
+  // Two chunks accumulated into the same OR: begin_output only once.
+  Sip sip(SipConfig{.lanes = 4});
+  const std::vector<Value> a1 = {1, 2, 3, 4};
+  const std::vector<Value> w1 = {1, 1, 1, 1};
+  const std::vector<Value> a2 = {5, 6, 7, 8};
+  const std::vector<Value> w2 = {2, 2, 2, 2};
+
+  sip.begin_output();
+  for (const auto& [a, w] : {std::pair{a1, w1}, std::pair{a2, w2}}) {
+    for (int wb = 0; wb < 3; ++wb) {
+      std::uint32_t wr = 0;
+      for (std::size_t lane = 0; lane < w.size(); ++lane) {
+        wr |= static_cast<std::uint32_t>(bit_of(w[lane], wb)) << lane;
+      }
+      sip.begin_weight_pass(wr, wb, wb == 2);
+      for (int ab = 3; ab >= 0; --ab) {
+        std::uint32_t bits = 0;
+        for (std::size_t lane = 0; lane < a.size(); ++lane) {
+          bits |= static_cast<std::uint32_t>(bit_of(a[lane], ab)) << lane;
+        }
+        sip.cycle(bits, ab == 3);
+      }
+      sip.end_weight_pass();
+    }
+  }
+  EXPECT_EQ(sip.output(), (1 + 2 + 3 + 4) + 2 * (5 + 6 + 7 + 8));
+}
+
+}  // namespace
+}  // namespace loom::arch

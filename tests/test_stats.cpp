@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace loom {
+namespace {
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Mean, Basic) {
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Geomean, MatchesPaperStyleAggregation) {
+  const std::array<double, 2> xs = {2.0, 8.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 4.0);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  const std::array<double, 2> xs = {1.0, 0.0};
+  EXPECT_THROW((void)geomean(xs), ContractViolation);
+}
+
+TEST(Geomean, EmptyIsZero) { EXPECT_EQ(geomean({}), 0.0); }
+
+TEST(WeightedMean, WeightsApply) {
+  const std::array<double, 2> xs = {10.0, 20.0};
+  const std::array<double, 2> ws = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), 17.5);
+}
+
+TEST(WeightedMean, SizeMismatchThrows) {
+  const std::array<double, 2> xs = {1.0, 2.0};
+  const std::array<double, 1> ws = {1.0};
+  EXPECT_THROW((void)weighted_mean(xs, ws), ContractViolation);
+}
+
+TEST(Stddev, KnownValue) {
+  const std::array<double, 4> xs = {2.0, 4.0, 4.0, 6.0};
+  EXPECT_NEAR(stddev(xs), 1.63299, 1e-4);
+}
+
+TEST(Stddev, DegenerateIsZero) {
+  const std::array<double, 1> xs = {5.0};
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxMean) {
+  Accumulator acc;
+  for (const double x : {3.0, 1.0, 2.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(Accumulator, MergeEquivalentToSequential) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i * 1.5 - 3.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+}
+
+TEST(IntHistogram, MeanAndCounts) {
+  IntHistogram h(17);
+  h.add(4, 3);
+  h.add(8, 1);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(4), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(IntHistogram, OutOfRangeThrows) {
+  IntHistogram h(4);
+  EXPECT_THROW(h.add(4), ContractViolation);
+  EXPECT_THROW(h.add(-1), ContractViolation);
+  EXPECT_THROW((void)h.count(9), ContractViolation);
+}
+
+TEST(IntHistogram, EmptyMeanIsZero) {
+  IntHistogram h(4);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,121 @@
+// Stripes / DStripes cycle model: activation-serial only. Conv layers scale
+// with Pa/16; FC layers match the baseline.
+#include <gtest/gtest.h>
+
+#include "sim/dpnn_sim.hpp"
+#include "sim/stripes_sim.hpp"
+#include "sim/workload.hpp"
+
+namespace loom::sim {
+namespace {
+
+NetworkWorkload conv_only(int ci, int hw, int co, int pa, int pw) {
+  nn::Network net("custom", nn::Shape3{ci, hw, hw});
+  net.add_conv("c", co, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.conv_act = {pa};
+  p.conv_weight = pw;
+  quant::apply_profile(net, p);
+  return NetworkWorkload(std::move(net), p);
+}
+
+NetworkWorkload fc_only(int ci, int co, int pw) {
+  nn::Network net("custom", nn::Shape3{ci, 1, 1});
+  net.add_fc("f", co);
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.fc_weight = {pw};
+  quant::apply_profile(net, p);
+  return NetworkWorkload(std::move(net), p);
+}
+
+arch::StripesConfig static_cfg(bool dynamic = false) {
+  arch::StripesConfig cfg;
+  cfg.dynamic_act_precision = dynamic;
+  return cfg;
+}
+
+TEST(StripesSim, ConvCyclesByHand) {
+  // 256 windows -> 16 blocks, IC=5, FB=ceil(32/8)=4, Pa=8 per chunk.
+  NetworkWorkload wl = conv_only(8, 16, 32, 8, 10);
+  StripesSimulator sim(static_cfg(), SimOptions{});
+  RunResult r = sim.run(wl);
+  EXPECT_EQ(r.layers[0].compute_cycles, 16u * 5 * 4 * 8 + 8);
+}
+
+TEST(StripesSim, ConvSpeedupIs16OverPa) {
+  for (const int pa : {4, 8, 13, 16}) {
+    NetworkWorkload wl = conv_only(8, 16, 64, pa, 12);
+    StripesSimulator st(static_cfg(), SimOptions{});
+    DpnnSimulator dp(arch::DpnnConfig{}, SimOptions{});
+    const double speedup =
+        speedup_vs(st.run(wl), dp.run(wl), RunResult::Filter::kConv);
+    EXPECT_NEAR(speedup, 16.0 / pa, 0.03 * 16.0 / pa) << pa;
+  }
+}
+
+TEST(StripesSim, WeightPrecisionIsIrrelevant) {
+  NetworkWorkload a = conv_only(8, 16, 64, 8, 10);
+  NetworkWorkload b = conv_only(8, 16, 64, 8, 16);
+  StripesSimulator sim(static_cfg(), SimOptions{});
+  EXPECT_EQ(sim.run(a).cycles(RunResult::Filter::kConv),
+            sim.run(b).cycles(RunResult::Filter::kConv));
+}
+
+TEST(StripesSim, FcMatchesBaseline) {
+  NetworkWorkload wl = fc_only(4096, 2048, 9);
+  StripesSimulator st(static_cfg(), SimOptions{});
+  DpnnSimulator dp(arch::DpnnConfig{}, SimOptions{});
+  const double speedup =
+      speedup_vs(st.run(wl), dp.run(wl), RunResult::Filter::kFc);
+  EXPECT_NEAR(speedup, 1.0, 0.02);
+}
+
+TEST(StripesSim, FilterParallelismMatchesDpnnAcrossScales) {
+  // Figure 5: DStripes' relative performance is constant in E because its
+  // filter parallelism mirrors the baseline's.
+  for (const int e : {32, 128, 512}) {
+    NetworkWorkload wl = conv_only(8, 16, 96, 8, 10);
+    arch::StripesConfig scfg = static_cfg();
+    scfg.equiv_macs = e;
+    arch::DpnnConfig dcfg;
+    dcfg.equiv_macs = e;
+    StripesSimulator st(scfg, SimOptions{});
+    DpnnSimulator dp(dcfg, SimOptions{});
+    const double speedup =
+        speedup_vs(st.run(wl), dp.run(wl), RunResult::Filter::kConv);
+    EXPECT_NEAR(speedup, 2.0, 0.1) << "E=" << e;  // 16/Pa = 2
+  }
+}
+
+TEST(StripesSim, DynamicTrimsBelowProfile) {
+  auto wl = prepare_network("alexnet", quant::AccuracyTarget::k100);
+  StripesSimulator stripes(static_cfg(false), SimOptions{});
+  StripesSimulator dstripes(static_cfg(true), SimOptions{});
+  const auto conv = RunResult::Filter::kConv;
+  EXPECT_LT(dstripes.run(*wl).cycles(conv), stripes.run(*wl).cycles(conv));
+}
+
+TEST(StripesSim, WeightsStay16BitOffchip) {
+  NetworkWorkload wl = fc_only(1024, 1024, 8);
+  SimOptions offchip;
+  offchip.model_offchip = true;
+  StripesSimulator sim(static_cfg(), offchip);
+  RunResult r = sim.run(wl);
+  EXPECT_GE(r.offchip_bits(), static_cast<std::uint64_t>(1024) * 1024 * 16);
+}
+
+TEST(StripesSim, LaneOpsScaleWithPa) {
+  NetworkWorkload lo = conv_only(8, 16, 64, 4, 10);
+  NetworkWorkload hi = conv_only(8, 16, 64, 8, 10);
+  StripesSimulator sim(static_cfg(), SimOptions{});
+  const auto a_lo = sim.run(lo).activity(RunResult::Filter::kConv);
+  const auto a_hi = sim.run(hi).activity(RunResult::Filter::kConv);
+  EXPECT_NEAR(static_cast<double>(a_hi.stripes_lane_ops) /
+                  static_cast<double>(a_lo.stripes_lane_ops),
+              2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace loom::sim

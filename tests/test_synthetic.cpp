@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/synthetic.hpp"
+
+namespace loom::nn {
+namespace {
+
+TEST(SyntheticSource, Deterministic) {
+  SyntheticSpec spec{.precision = 8, .alpha = 2.0, .is_signed = true};
+  const SyntheticSource a(1, 2, spec);
+  const SyntheticSource b(1, 2, spec);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(SyntheticSource, RespectsUnsignedPrecision) {
+  SyntheticSpec spec{.precision = 6, .alpha = 1.0, .is_signed = false};
+  const SyntheticSource src(3, 0, spec);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const Value v = src.at(i);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 63);
+  }
+}
+
+TEST(SyntheticSource, RespectsSignedPrecision) {
+  SyntheticSpec spec{.precision = 7, .alpha = 1.0, .is_signed = true};
+  const SyntheticSource src(3, 1, spec);
+  bool saw_negative = false;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const Value v = src.at(i);
+    ASSERT_LE(needed_bits_signed(v), 7);
+    saw_negative |= v < 0;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(SyntheticSource, AttainsFullPrecisionWithHighProbability) {
+  SyntheticSpec spec{.precision = 8, .alpha = 1.0, .is_signed = false};
+  const SyntheticSource src(5, 0, spec);
+  int max_bits = 0;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    max_bits = std::max(max_bits,
+                        needed_bits_unsigned(static_cast<std::uint16_t>(src.at(i))));
+  }
+  EXPECT_EQ(max_bits, 8);
+}
+
+TEST(SyntheticSource, ZeroFractionProducesZeros) {
+  SyntheticSpec spec{.precision = 8, .alpha = 1.0, .is_signed = false,
+                     .zero_fraction = 0.5};
+  const SyntheticSource src(7, 0, spec);
+  int zeros = 0;
+  constexpr int kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    if (src.at(i) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / kN, 0.5, 0.03);
+}
+
+TEST(SyntheticSource, LargerAlphaConcentratesTowardZero) {
+  SyntheticSpec lo{.precision = 10, .alpha = 1.0, .is_signed = false};
+  SyntheticSpec hi{.precision = 10, .alpha = 50.0, .is_signed = false};
+  const SyntheticSource a(9, 0, lo);
+  const SyntheticSource b(9, 0, hi);
+  double mean_a = 0.0, mean_b = 0.0;
+  constexpr int kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    mean_a += a.at(i);
+    mean_b += b.at(i);
+  }
+  EXPECT_GT(mean_a / kN, 10.0 * mean_b / kN);
+}
+
+TEST(SyntheticSource, InvalidSpecThrows) {
+  SyntheticSpec bad{.precision = 0};
+  EXPECT_THROW(SyntheticSource(1, 1, bad), ContractViolation);
+  SyntheticSpec bad_alpha{.precision = 4, .alpha = 0.5};
+  EXPECT_THROW(SyntheticSource(1, 1, bad_alpha), ContractViolation);
+}
+
+TEST(MakeActivationTensor, MatchesSourceValues) {
+  SyntheticSpec spec{.precision = 8, .alpha = 2.0, .is_signed = false};
+  const Tensor t = make_activation_tensor(Shape3{2, 3, 4}, spec, 11, 5);
+  const SyntheticSource src(11, 5, spec);
+  EXPECT_EQ(t.elements(), 24);
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    EXPECT_EQ(t.flat(i), src.at(static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(MakeWeightTensor, FlatAndDeterministic) {
+  SyntheticSpec spec{.precision = 9, .alpha = 3.0, .is_signed = true};
+  const Tensor a = make_weight_tensor(100, spec, 13, 7);
+  const Tensor b = make_weight_tensor(100, spec, 13, 7);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(a.flat(i), b.flat(i));
+}
+
+TEST(Streams, ActAndWeightStreamsDiffer) {
+  EXPECT_NE(activation_stream(3), weight_stream(3));
+  EXPECT_NE(activation_stream(3), activation_stream(4));
+}
+
+}  // namespace
+}  // namespace loom::nn

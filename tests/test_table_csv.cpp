@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace loom {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("Title");
+  t.set_header({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta-long", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("beta-long"), std::string::npos);
+  // The "Value" column of both rows starts at the same offset.
+  const auto line_with = [&](const std::string& needle) {
+    std::istringstream in(out);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find(needle) != std::string::npos) return line;
+    }
+    return std::string{};
+  };
+  EXPECT_EQ(line_with("alpha").find('1'), line_with("beta-long").find("22"));
+}
+
+TEST(TextTable, RuleSeparatesGroups) {
+  TextTable t;
+  t.add_row({"a"});
+  t.add_rule();
+  t.add_row({"b"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsDigits) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b,c"});
+  csv.write_row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,\"b,c\"\n1,2\n");
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,148 @@
+// Workload preparation: group-precision detection from real (overlapping)
+// window data, Table 3 reproduction via calibrated weight streams, and the
+// output-precision chain.
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.hpp"
+#include "quant/profiles.hpp"
+#include "sim/workload.hpp"
+
+namespace loom::sim {
+namespace {
+
+quant::PrecisionProfile custom_profile() {
+  quant::PrecisionProfile p;
+  p.network = "custom";
+  p.conv_act = {8, 6};
+  p.conv_weight = 10;
+  p.fc_weight = {9};
+  p.dynamic_act_trim = 1.0;
+  return p;
+}
+
+nn::Network custom_network() {
+  nn::Network net("custom", nn::Shape3{8, 16, 16});
+  net.add_conv("c1", 32, 3, 1, 1).precision_group = 0;
+  net.add_conv("c2", 16, 3, 1, 1).precision_group = 1;
+  net.add_fc("f1", 100);
+  return net;
+}
+
+NetworkWorkload make_workload() {
+  nn::Network net = custom_network();
+  const auto profile = custom_profile();
+  quant::apply_profile(net, profile);
+  return NetworkWorkload(std::move(net), profile);
+}
+
+TEST(Workload, GroupPrecisionWithinProfileBound) {
+  NetworkWorkload wl = make_workload();
+  LayerWorkload& lw = wl.layer(0);
+  const nn::Layer& layer = lw.layer();
+  const std::int64_t wb_count = ceil_div(layer.windows(), 16);
+  const std::int64_t ic_count = ceil_div(layer.inner_length(), 16);
+  for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+    for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+      const int p = lw.act_group_precision(0, wb, ic, 16);
+      EXPECT_GE(p, 1);
+      EXPECT_LE(p, layer.act_precision);
+    }
+  }
+}
+
+TEST(Workload, GroupPrecisionDeterministicAcrossInstances) {
+  NetworkWorkload a = make_workload();
+  NetworkWorkload b = make_workload();
+  for (std::int64_t wb = 0; wb < 4; ++wb) {
+    EXPECT_EQ(a.layer(0).act_group_precision(0, wb, 0, 16),
+              b.layer(0).act_group_precision(0, wb, 0, 16));
+  }
+}
+
+TEST(Workload, MeanDetectedPrecisionNearTrimTarget) {
+  NetworkWorkload wl = make_workload();
+  LayerWorkload& lw = wl.layer(0);
+  const nn::Layer& layer = lw.layer();
+  const std::int64_t wb_count = ceil_div(layer.windows(), 16);
+  const std::int64_t ic_count = ceil_div(layer.inner_length(), 16);
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+    for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+      sum += lw.act_group_precision(0, wb, ic, 16);
+      ++n;
+    }
+  }
+  // Profile Pa = 8, trim target = 1.0 -> mean detected ~ 7.
+  EXPECT_NEAR(sum / static_cast<double>(n), 7.0, 0.5);
+}
+
+TEST(Workload, SmallerColumnsNeverIncreasePrecision) {
+  // A group of 4 windows is a subset of the 16-window group: its detected
+  // precision cannot exceed the superset's.
+  NetworkWorkload wl = make_workload();
+  LayerWorkload& lw = wl.layer(0);
+  for (std::int64_t wb16 = 0; wb16 < 4; ++wb16) {
+    const int p16 = lw.act_group_precision(0, wb16, 0, 16);
+    for (std::int64_t sub = 0; sub < 4; ++sub) {
+      const int p4 = lw.act_group_precision(0, wb16 * 4 + sub, 0, 4);
+      EXPECT_LE(p4, p16);
+    }
+  }
+}
+
+TEST(Workload, EffectiveWeightPrecisionBelowProfile) {
+  NetworkWorkload wl = make_workload();
+  const double eff = wl.layer(0).effective_weight_precision();
+  EXPECT_GT(eff, 1.0);
+  EXPECT_LT(eff, 10.0);  // profile Pw = 10, target 0.85x = 8.5
+  EXPECT_NEAR(eff, 8.5, 0.5);
+}
+
+TEST(Workload, HonestPrecisionAtLeastMean) {
+  NetworkWorkload wl = make_workload();
+  LayerWorkload& lw = wl.layer(0);
+  const double mean_p = lw.effective_weight_precision();
+  const double honest1 = lw.honest_weight_precision(1);
+  const double honest128 = lw.honest_weight_precision(128);
+  EXPECT_GE(honest1 + 0.3, mean_p);  // single group ~ mean (MC tolerance)
+  EXPECT_GE(honest128, honest1);     // max over more groups only grows
+  EXPECT_LE(honest128, 10.0);
+}
+
+TEST(Workload, OutPrecisionFollowsConsumerProfile) {
+  NetworkWorkload wl = make_workload();
+  // c1 feeds c2 whose profile Pa is 6; c2 feeds the FC (16).
+  EXPECT_EQ(wl.layer(0).out_precision, 6);
+  EXPECT_EQ(wl.layer(1).out_precision, 16);
+}
+
+TEST(Workload, Table3TargetsReproducedOnZooNetwork) {
+  auto wl = prepare_network("alexnet", quant::AccuracyTarget::k100);
+  const auto& table3 = quant::effective_weight_precisions("alexnet");
+  const auto conv_indices = wl->network().conv_indices();
+  ASSERT_EQ(conv_indices.size(), table3.size());
+  for (std::size_t i = 0; i < conv_indices.size(); ++i) {
+    const double measured = wl->layer(conv_indices[i]).effective_weight_precision();
+    EXPECT_NEAR(measured, table3[i], 0.25) << "conv layer " << i;
+  }
+}
+
+TEST(Workload, FcWeightTargetUsesConvTrimRatio) {
+  auto wl = prepare_network("alexnet", quant::AccuracyTarget::k100);
+  const auto fc_indices = wl->network().fc_indices();
+  const double eff = wl->layer(fc_indices[0]).effective_weight_precision();
+  // fc6 profile Pw = 10; AlexNet conv trim ratio ~ 7.7/11 -> target ~ 7.0.
+  EXPECT_GT(eff, 5.5);
+  EXPECT_LT(eff, 10.0);
+}
+
+TEST(Workload, PrepareNetworkAppliesProfile) {
+  auto wl = prepare_network("vggs", quant::AccuracyTarget::k99);
+  const auto convs = wl->network().conv_indices();
+  EXPECT_EQ(wl->network().layer(convs[0]).act_precision, 7);
+  EXPECT_EQ(wl->network().layer(convs[0]).weight_precision, 11);
+}
+
+}  // namespace
+}  // namespace loom::sim
