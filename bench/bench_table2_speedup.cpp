@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
        {quant::AccuracyTarget::k100, quant::AccuracyTarget::k99}) {
     core::RunnerOptions opts;
     opts.equiv_macs = static_cast<int>(cli.get_int("equiv", 128));
+    opts.jobs = static_cast<int>(cli.get_int("jobs", 0));  // 0 = all hw threads
     opts.target = target;
     core::ExperimentRunner runner(opts);
     const sim::Comparison cmp = runner.compare(networks);

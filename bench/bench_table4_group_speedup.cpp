@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   core::RunnerOptions opts;
   opts.per_group_weights = true;
   opts.include_stripes = false;
+  opts.jobs = static_cast<int>(cli.get_int("jobs", 0));  // 0 = all hw threads
   core::ExperimentRunner runner(opts);
   const sim::Comparison cmp = runner.compare(networks);
   std::cout << core::format_all_layers(

@@ -1,8 +1,10 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/zoo/zoo.hpp"
 
 namespace loom::core {
@@ -17,29 +19,47 @@ std::unique_ptr<sim::Simulator> ExperimentRunner::make_baseline() const {
   return sim::make_dpnn_simulator(cfg, sim_opts);
 }
 
-std::vector<std::unique_ptr<sim::Simulator>> ExperimentRunner::make_roster() const {
-  std::vector<std::unique_ptr<sim::Simulator>> roster;
+std::size_t ExperimentRunner::roster_size() const noexcept {
+  return static_cast<std::size_t>(opts_.include_stripes) +
+         static_cast<std::size_t>(opts_.include_dstripes) + opts_.loom_bits.size();
+}
+
+std::unique_ptr<sim::Simulator> ExperimentRunner::make_roster_entry(
+    std::size_t index) const {
+  LOOM_EXPECTS(index < roster_size());
   sim::SimOptions sim_opts;
   sim_opts.model_offchip = opts_.model_offchip;
 
   if (opts_.include_stripes) {
-    arch::StripesConfig s;
-    s.equiv_macs = opts_.equiv_macs;
-    s.dynamic_act_precision = false;
-    roster.push_back(sim::make_stripes_simulator(s, sim_opts));
+    if (index == 0) {
+      arch::StripesConfig s;
+      s.equiv_macs = opts_.equiv_macs;
+      s.dynamic_act_precision = false;
+      return sim::make_stripes_simulator(s, sim_opts);
+    }
+    --index;
   }
   if (opts_.include_dstripes) {
-    arch::StripesConfig s;
-    s.equiv_macs = opts_.equiv_macs;
-    s.dynamic_act_precision = true;
-    roster.push_back(sim::make_stripes_simulator(s, sim_opts));
+    if (index == 0) {
+      arch::StripesConfig s;
+      s.equiv_macs = opts_.equiv_macs;
+      s.dynamic_act_precision = true;
+      return sim::make_stripes_simulator(s, sim_opts);
+    }
+    --index;
   }
-  for (const int bits : opts_.loom_bits) {
-    arch::LoomConfig l;
-    l.equiv_macs = opts_.equiv_macs;
-    l.bits_per_cycle = bits;
-    l.per_group_weights = opts_.per_group_weights;
-    roster.push_back(sim::make_loom_simulator(l, sim_opts));
+  arch::LoomConfig l;
+  l.equiv_macs = opts_.equiv_macs;
+  l.bits_per_cycle = opts_.loom_bits[index];
+  l.per_group_weights = opts_.per_group_weights;
+  return sim::make_loom_simulator(l, sim_opts);
+}
+
+std::vector<std::unique_ptr<sim::Simulator>> ExperimentRunner::make_roster() const {
+  std::vector<std::unique_ptr<sim::Simulator>> roster;
+  roster.reserve(roster_size());
+  for (std::size_t i = 0; i < roster_size(); ++i) {
+    roster.push_back(make_roster_entry(i));
   }
   return roster;
 }
@@ -51,6 +71,7 @@ std::vector<std::string> ExperimentRunner::roster_names() const {
 }
 
 sim::NetworkWorkload& ExperimentRunner::workload_for(const std::string& network) {
+  const std::lock_guard<std::mutex> lock(workloads_mutex_);
   for (auto& [name, wl] : workloads_) {
     if (name == network) return *wl;
   }
@@ -61,9 +82,18 @@ sim::NetworkWorkload& ExperimentRunner::workload_for(const std::string& network)
   return *workloads_.back().second;
 }
 
+int ExperimentRunner::effective_jobs() const {
+  if (opts_.jobs > 0) return opts_.jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 sim::Comparison ExperimentRunner::compare(const std::vector<std::string>& networks) {
   const std::vector<std::string>& names =
       networks.empty() ? nn::zoo::paper_networks() : networks;
+
+  const int jobs = effective_jobs();
+  if (jobs > 1) return compare_parallel(names, jobs);
 
   auto baseline = make_baseline();
   auto roster = make_roster();
@@ -74,6 +104,37 @@ sim::Comparison ExperimentRunner::compare(const std::vector<std::string>& networ
   sim::Comparison cmp;
   for (const std::string& net : names) {
     cmp.add_network(workload_for(net), *baseline, roster_ptrs);
+  }
+  return cmp;
+}
+
+sim::Comparison ExperimentRunner::compare_parallel(
+    const std::vector<std::string>& names, int jobs) {
+  // One cell per (network, arch slot); slot 0 is the DPNN baseline, slots
+  // 1..R the roster in run order. Every cell gets a fresh simulator (they
+  // carry per-run state) but cells of the same network share one workload,
+  // whose memoized caches are internally synchronized. All cell outputs are
+  // deterministic, so the assembly below matches the serial path exactly.
+  const std::size_t slots = 1 + roster_size();
+  std::vector<sim::RunResult> cells(names.size() * slots);
+
+  ThreadPool pool(std::min(static_cast<std::size_t>(jobs), cells.size()));
+  pool.parallel_for(cells.size(), [&](std::size_t idx) {
+    const std::size_t ni = idx / slots;
+    const std::size_t ai = idx % slots;
+    sim::NetworkWorkload& wl = workload_for(names[ni]);
+    std::unique_ptr<sim::Simulator> sim =
+        ai == 0 ? make_baseline() : make_roster_entry(ai - 1);
+    cells[idx] = sim->run(wl);
+  });
+
+  sim::Comparison cmp;
+  for (std::size_t ni = 0; ni < names.size(); ++ni) {
+    std::vector<sim::RunResult> runs(
+        std::make_move_iterator(cells.begin() + static_cast<std::ptrdiff_t>(ni * slots + 1)),
+        std::make_move_iterator(cells.begin() + static_cast<std::ptrdiff_t>((ni + 1) * slots)));
+    cmp.add_network_results(names[ni], std::move(cells[ni * slots]),
+                            std::move(runs));
   }
   return cmp;
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,13 @@ struct RunnerOptions {
   bool include_stripes = true;
   bool include_dstripes = false;
   std::vector<int> loom_bits = {1, 2, 4};  ///< which LMxb variants to run
+
+  /// Worker threads used by compare() to simulate (arch × network) cells
+  /// concurrently. 1 runs serially; values <= 0 use
+  /// std::thread::hardware_concurrency(). The comparison table is
+  /// bit-identical to the serial one regardless of the value — cells are
+  /// deterministic and results are assembled in roster order.
+  int jobs = 1;
 };
 
 class ExperimentRunner {
@@ -50,9 +58,21 @@ class ExperimentRunner {
  private:
   [[nodiscard]] std::unique_ptr<sim::Simulator> make_baseline() const;
   [[nodiscard]] std::vector<std::unique_ptr<sim::Simulator>> make_roster() const;
+  /// Number of roster architectures implied by the options.
+  [[nodiscard]] std::size_t roster_size() const noexcept;
+  /// Build just the index-th roster simulator (same order as make_roster).
+  [[nodiscard]] std::unique_ptr<sim::Simulator> make_roster_entry(
+      std::size_t index) const;
+  /// Lazily builds (and caches) the workload for `network`. Thread-safe:
+  /// the cache lookup/insert is mutex-guarded so concurrent cells of the
+  /// same network share one workload (and its group-precision caches).
   [[nodiscard]] sim::NetworkWorkload& workload_for(const std::string& network);
+  [[nodiscard]] int effective_jobs() const;
+  [[nodiscard]] sim::Comparison compare_parallel(
+      const std::vector<std::string>& names, int jobs);
 
   RunnerOptions opts_;
+  std::mutex workloads_mutex_;
   std::vector<std::pair<std::string, std::unique_ptr<sim::NetworkWorkload>>>
       workloads_;
 };

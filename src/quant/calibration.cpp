@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "common/error.hpp"
@@ -65,19 +67,61 @@ const nn::SyntheticSpec& calibrated_spec_cached(int precision, bool is_signed,
                     static_cast<int>(std::lround(zero_fraction * 1000)),
                     group_size,
                     static_cast<int>(std::lround(target_mean_precision * 100))};
-  static std::map<KeyType, nn::SyntheticSpec> cache;
-  const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  // Guarded: workloads calibrate concurrently under the runner's `jobs`
+  // fan-out. The map stores one deferred shared_future per key, so the lock
+  // only covers lookup/insert: the first caller of get() runs the
+  // Monte-Carlo bisection, same-key callers wait for that one result
+  // (no duplicated work), and distinct keys calibrate concurrently.
+  // shared_future::get() returns a reference into the shared state; a
+  // successful entry is never evicted, so the cache keeps that state (and
+  // the returned reference) alive for the process lifetime.
+  struct Entry {
+    std::uint64_t gen = 0;
+    std::shared_future<nn::SyntheticSpec> fut;
+  };
+  static std::mutex cache_mutex;
+  static std::map<KeyType, Entry> cache;
+  static std::uint64_t next_gen = 0;
 
-  nn::SyntheticSpec spec;
-  spec.precision = precision;
-  spec.is_signed = is_signed;
-  spec.zero_fraction = zero_fraction;
-  CalibrationOptions opts;
-  opts.group_size = group_size;
-  const nn::SyntheticSpec calibrated =
-      calibrate_to_group_precision(spec, target_mean_precision, opts);
-  return cache.emplace(key, calibrated).first->second;
+  std::shared_future<nn::SyntheticSpec> fut;
+  std::uint64_t gen = 0;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+      fut = it->second.fut;
+      gen = it->second.gen;
+    } else {
+      fut = std::async(std::launch::deferred,
+                       [precision, is_signed, zero_fraction, group_size,
+                        target_mean_precision] {
+                         nn::SyntheticSpec spec;
+                         spec.precision = precision;
+                         spec.is_signed = is_signed;
+                         spec.zero_fraction = zero_fraction;
+                         CalibrationOptions opts;
+                         opts.group_size = group_size;
+                         return calibrate_to_group_precision(
+                             spec, target_mean_precision, opts);
+                       })
+                .share();
+      gen = ++next_gen;
+      cache.emplace(key, Entry{gen, fut});
+    }
+  }
+  try {
+    return fut.get();
+  } catch (...) {
+    // Don't poison the cache with a failed (possibly transient) attempt:
+    // evict so the next caller retries. The generation check makes sure we
+    // only evict the exact attempt that threw — never a successor's fresh
+    // (possibly already-succeeded) entry, whose shared state callers may
+    // be holding references into.
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end() && it->second.gen == gen) cache.erase(it);
+    throw;
+  }
 }
 
 }  // namespace loom::quant

@@ -7,21 +7,32 @@ namespace loom::sim {
 
 void Comparison::add_network(NetworkWorkload& workload, Simulator& baseline,
                              std::vector<Simulator*> archs) {
-  const RunResult base = baseline.run(workload);
-  baseline_runs_.push_back(base);
-
+  RunResult base = baseline.run(workload);
+  std::vector<RunResult> runs;
+  runs.reserve(archs.size());
   for (Simulator* sim : archs) {
     LOOM_EXPECTS(sim != nullptr);
-    const RunResult run = sim->run(workload);
+    runs.push_back(sim->run(workload));
+  }
+  add_network_results(workload.network().name(), std::move(base),
+                      std::move(runs));
+}
+
+void Comparison::add_network_results(const std::string& network, RunResult base,
+                                     std::vector<RunResult> runs) {
+  baseline_runs_.push_back(std::move(base));
+  const RunResult& base_ref = baseline_runs_.back();
+
+  for (RunResult& run : runs) {
     for (const RunResult::Filter f :
          {RunResult::Filter::kAll, RunResult::Filter::kConv,
           RunResult::Filter::kFc}) {
       if (run.cycles(f) == 0) continue;  // e.g. NiN has no FC layers
       ComparisonEntry e;
-      e.network = workload.network().name();
+      e.network = network;
       e.arch = run.arch_name;
-      e.perf = speedup_vs(run, base, f);
-      e.eff = efficiency_vs(run, base, f);
+      e.perf = speedup_vs(run, base_ref, f);
+      e.eff = efficiency_vs(run, base_ref, f);
       e.result = run;
       entries_[f].push_back(std::move(e));
     }

@@ -27,6 +27,13 @@ class Comparison {
   void add_network(NetworkWorkload& workload, Simulator& baseline,
                    std::vector<Simulator*> archs);
 
+  /// Record pre-computed runs for one network (baseline first, then the
+  /// roster in run order). Produces exactly the entries add_network would,
+  /// letting callers simulate cells out of order (e.g. on a thread pool)
+  /// and still assemble a deterministically ordered table.
+  void add_network_results(const std::string& network, RunResult base,
+                           std::vector<RunResult> runs);
+
   [[nodiscard]] const std::vector<ComparisonEntry>& entries(
       RunResult::Filter f) const;
 

@@ -173,7 +173,6 @@ int LayerWorkload::act_group_precision(std::int64_t g, std::int64_t wb,
                                        std::int64_t ic, int cols) {
   LOOM_EXPECTS(layer_.kind == nn::LayerKind::kConv);
   LOOM_EXPECTS(cols >= 1);
-  ensure_input_tensor();
 
   const std::int64_t windows = layer_.windows();
   const std::int64_t inner = layer_.inner_length();
@@ -182,33 +181,62 @@ int LayerWorkload::act_group_precision(std::int64_t g, std::int64_t wb,
   LOOM_EXPECTS(g >= 0 && g < layer_.groups);
   LOOM_EXPECTS(wb >= 0 && wb < wb_count);
   LOOM_EXPECTS(ic >= 0 && ic < ic_count);
-
-  auto& cache = group_precision_cache_[cols];
-  if (cache.empty()) {
-    cache.assign(static_cast<std::size_t>(layer_.groups * wb_count * ic_count), 0);
-  }
   const std::size_t key =
       static_cast<std::size_t>((g * wb_count + wb) * ic_count + ic);
-  if (cache[key] != 0) return cache[key];
 
   // OR the magnitudes of the concurrently processed activations: `cols`
   // windows x `lanes` inner positions (the hardware's per-bit OR trees).
-  std::uint32_t ored = 0;
-  const std::int64_t w_end = std::min<std::int64_t>((wb + 1) * cols, windows);
-  const std::int64_t f_end =
-      std::min<std::int64_t>((ic + 1) * opts_.lanes, inner);
-  for (std::int64_t w = wb * cols; w < w_end; ++w) {
-    for (std::int64_t f = ic * opts_.lanes; f < f_end; ++f) {
-      ored |= static_cast<std::uint16_t>(window_value(g, w, f));
+  // Requires the input tensor; publishes through the atomic cache element.
+  // Cache elements are biased by +1 (0 = "not yet computed"), so an
+  // all-zero group — which legitimately detects precision 0 — still caches.
+  const auto compute_and_publish =
+      [&](std::vector<std::atomic<std::uint8_t>>& cache) -> int {
+    const std::uint8_t cached = cache[key].load(std::memory_order_relaxed);
+    if (cached != 0) return cached - 1;
+    std::uint32_t ored = 0;
+    const std::int64_t w_end = std::min<std::int64_t>((wb + 1) * cols, windows);
+    const std::int64_t f_end =
+        std::min<std::int64_t>((ic + 1) * opts_.lanes, inner);
+    for (std::int64_t w = wb * cols; w < w_end; ++w) {
+      for (std::int64_t f = ic * opts_.lanes; f < f_end; ++f) {
+        ored |= static_cast<std::uint16_t>(window_value(g, w, f));
+      }
+    }
+    const int detected = needed_bits_unsigned(ored);
+    const int clipped = std::min(detected, layer_.act_precision);
+    cache[key].store(static_cast<std::uint8_t>(clipped + 1),
+                     std::memory_order_relaxed);
+    return clipped;
+  };
+
+  // Steady state runs under the shared lock: once the input tensor and this
+  // cols' cache exist, hits read the atomic element and misses compute from
+  // the (now immutable) tensor and publish lock-free — the value is a pure
+  // function of the key, so a raced duplicate compute stores the same byte.
+  {
+    const std::shared_lock<std::shared_mutex> lock(memo_mutex_);
+    if (input_.has_value()) {
+      const auto it = group_precision_cache_.find(cols);
+      if (it != group_precision_cache_.end()) {
+        return compute_and_publish(it->second);
+      }
     }
   }
-  const int detected = needed_bits_unsigned(ored);
-  const int clipped = std::min(detected, layer_.act_precision);
-  cache[key] = static_cast<std::uint8_t>(clipped);
-  return clipped;
+
+  // First call for this cols: materialize the tensor and size the cache
+  // under the exclusive lock.
+  const std::lock_guard<std::shared_mutex> lock(memo_mutex_);
+  ensure_input_tensor();
+  const auto it =
+      group_precision_cache_
+          .try_emplace(cols, static_cast<std::size_t>(
+                                 layer_.groups * wb_count * ic_count))
+          .first;
+  return compute_and_publish(it->second);
 }
 
 double LayerWorkload::effective_weight_precision() {
+  const std::lock_guard<std::mutex> lock(weight_mutex_);
   if (measured_weight_precision_.has_value()) return *measured_weight_precision_;
   LOOM_EXPECTS(layer_.has_weights());
 
@@ -229,6 +257,7 @@ double LayerWorkload::effective_weight_precision() {
 
 double LayerWorkload::honest_weight_precision(int rows_groups) {
   LOOM_EXPECTS(rows_groups >= 1);
+  const std::lock_guard<std::mutex> lock(weight_mutex_);
   const auto it = honest_cache_.find(rows_groups);
   if (it != honest_cache_.end()) return it->second;
 
@@ -267,6 +296,7 @@ double LayerWorkload::honest_weight_precision(int rows_groups) {
 }
 
 double LayerWorkload::essential_weight_planes() {
+  const std::lock_guard<std::mutex> lock(weight_mutex_);
   if (essential_planes_.has_value()) return *essential_planes_;
   LOOM_EXPECTS(layer_.has_weights());
 
@@ -304,12 +334,16 @@ NetworkWorkload::NetworkWorkload(nn::Network net,
                                  const quant::PrecisionProfile& profile,
                                  WorkloadOptions opts)
     : net_(std::move(net)), profile_(profile), opts_(opts) {
+  layer_once_ = std::make_unique<std::once_flag[]>(net_.size());
   layers_.resize(net_.size());
 }
 
 LayerWorkload& NetworkWorkload::layer(std::size_t index) {
   LOOM_EXPECTS(index < layers_.size());
-  if (!layers_[index]) {
+  // call_once: the ctor may run a calibration bisection, so racing threads
+  // wanting the *same* layer wait for one construction (no duplicated
+  // work), while different layers construct concurrently.
+  std::call_once(layer_once_[index], [&] {
     layers_[index] = std::make_unique<LayerWorkload>(net_.layer(index), index,
                                                      profile_, opts_);
     // Output activations are stored at the precision the next weighted
@@ -323,7 +357,7 @@ LayerWorkload& NetworkWorkload::layer(std::size_t index) {
       if (net_.layer(j).kind == nn::LayerKind::kFullyConnected) break;
     }
     layers_[index]->out_precision = out_prec;
-  }
+  });
   return *layers_[index];
 }
 

@@ -14,9 +14,12 @@
 //    mean effective precision feeds the §4.6 performance estimate.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -46,7 +49,8 @@ class LayerWorkload {
 
   /// Detected precision for the activation group at (conv group g,
   /// window block wb, input chunk ic) with `cols` concurrent windows.
-  /// Result is always in [1, layer Pa]. Conv layers only.
+  /// Result is clipped to the layer Pa; a group whose sampled activations
+  /// are all zero detects 0. Conv layers only. Thread-safe.
   [[nodiscard]] int act_group_precision(std::int64_t g, std::int64_t wb,
                                         std::int64_t ic, int cols);
 
@@ -96,6 +100,17 @@ class LayerWorkload {
   const nn::Layer& layer_;
   std::size_t layer_index_;
   WorkloadOptions opts_;
+  /// Guards the activation-side memo state (input tensor + group caches)
+  /// so one workload can serve several simulator threads (core runner
+  /// `jobs` fan-out). Steady-state act_group_precision calls take it
+  /// shared — concurrent simulators of one network don't serialize — and
+  /// only first-call-per-cols setup takes it exclusive.
+  std::shared_mutex memo_mutex_;
+  /// Guards the weight-side memos. Separate from memo_mutex_ so the long
+  /// weight streams never block activation lookups; computing *under* the
+  /// lock is deliberate — it makes same-layer duplicate requests wait for
+  /// one result instead of redoing the work.
+  std::mutex weight_mutex_;
   double act_target_precision_;   ///< calibration target (Pa - trim)
   double table3_target_ = 0.0;    ///< effective weight precision target
   std::optional<nn::Tensor> input_;
@@ -103,7 +118,13 @@ class LayerWorkload {
   bool group_calibrated_ = false;
   std::optional<double> measured_weight_precision_;
   std::optional<double> essential_planes_;
-  std::unordered_map<int, std::vector<std::uint8_t>> group_precision_cache_;
+  /// Per-cols memo of detected group precisions. Elements are atomic so
+  /// concurrent misses on disjoint keys can compute under the *shared* lock
+  /// (the input tensor is immutable once published) and publish lock-free.
+  /// Stored values are biased by +1: 0 means "not yet computed", so an
+  /// all-zero group (detected precision 0) still caches.
+  std::unordered_map<int, std::vector<std::atomic<std::uint8_t>>>
+      group_precision_cache_;
   std::unordered_map<int, double> honest_cache_;
 };
 
@@ -125,6 +146,10 @@ class NetworkWorkload {
   nn::Network net_;
   quant::PrecisionProfile profile_;
   WorkloadOptions opts_;
+  /// One flag per layer slot: lazy creation races construct each layer
+  /// exactly once (call_once publishes the pointer), while *different*
+  /// layers construct concurrently.
+  std::unique_ptr<std::once_flag[]> layer_once_;
   std::vector<std::unique_ptr<LayerWorkload>> layers_;
 };
 
