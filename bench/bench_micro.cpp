@@ -1,11 +1,15 @@
 // Microbenchmarks (google-benchmark): throughput of the hot components —
-// the functional SIP, the grid tile, precision detection, serialization and
-// the cycle-accurate layer models themselves.
+// the functional SIP, the grid tile, precision detection, serialization,
+// the OR-plane precision engine and the cycle-accurate layer models
+// themselves. The `bench-json` CMake target runs this binary and writes
+// BENCH_micro.json for the perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "core/loom.hpp"
+#include "nn/im2col.hpp"
+#include "sim/or_planes.hpp"
 
 using namespace loom;
 
@@ -105,6 +109,139 @@ void BM_WorkloadGroupPrecision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkloadGroupPrecision);
+
+// ---- OR-plane precision engine --------------------------------------------
+
+/// The mid-size conv layer used by the plane benches (same geometry as
+/// BM_WorkloadGroupPrecision / BM_LoomLayerSimulation).
+nn::Layer plane_layer() {
+  nn::Layer layer =
+      nn::make_conv("c", nn::Shape3{64, 28, 28}, 128, 3, 1, 1);
+  layer.act_precision = 9;
+  return layer;
+}
+
+nn::Tensor plane_input(const nn::Layer& layer) {
+  nn::SyntheticSpec spec;
+  spec.precision = 9;
+  spec.alpha = 3.0;
+  spec.zero_fraction = 0.45;
+  return nn::make_activation_tensor(layer.in, spec, 1, 0);
+}
+
+void BM_OrPlaneBuild(benchmark::State& state) {
+  const nn::Layer layer = plane_layer();
+  const nn::Tensor input = plane_input(layer);
+  sim::ActOrPlanes planes(layer, 16);
+  for (auto _ : state) {
+    planes.build(input);
+    benchmark::DoNotOptimize(planes.group_or(0, 0, 0, 16));
+  }
+  // One im2col touch per (window, inner) pair and per cycle model query.
+  state.SetItemsProcessed(state.iterations() * layer.windows() *
+                          layer.inner_length());
+}
+BENCHMARK(BM_OrPlaneBuild);
+
+void BM_GroupPrecisionColdQuery(benchmark::State& state) {
+  // The post-refactor miss path of act_group_precision: OR `cols`
+  // contiguous plane entries + leading-one detection. Cycles over blocks so
+  // every query is "cold" (no memo slot involved).
+  const nn::Layer layer = plane_layer();
+  const nn::Tensor input = plane_input(layer);
+  sim::ActOrPlanes planes(layer, 16);
+  planes.build(input);
+  const std::int64_t wb_count = ceil_div(planes.windows(), 16);
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    const std::int64_t wb = k % wb_count;
+    const std::int64_t ic = (k / wb_count) % planes.ic_count();
+    ++k;
+    benchmark::DoNotOptimize(
+        needed_bits_unsigned(planes.group_or(0, ic, wb, 16)));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_GroupPrecisionColdQuery);
+
+void BM_GroupPrecisionBruteScan(benchmark::State& state) {
+  // Pre-OR-plane reference for the same query: the scattered 256-value
+  // im2col scan with per-value div/mod and padding checks. The ratio to
+  // BM_GroupPrecisionColdQuery is the steady-state cold-cache speedup.
+  const nn::Layer layer = plane_layer();
+  const nn::Tensor input = plane_input(layer);
+  const std::int64_t windows = layer.windows();
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t wb_count = ceil_div(windows, 16);
+  const std::int64_t ic_count = ceil_div(inner, 16);
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    const std::int64_t wb = k % wb_count;
+    const std::int64_t ic = (k / wb_count) % ic_count;
+    ++k;
+    std::uint32_t ored = 0;
+    const std::int64_t w_end = std::min<std::int64_t>((wb + 1) * 16, windows);
+    const std::int64_t f_end = std::min<std::int64_t>((ic + 1) * 16, inner);
+    for (std::int64_t w = wb * 16; w < w_end; ++w) {
+      for (std::int64_t f = ic * 16; f < f_end; ++f) {
+        const std::int64_t idx = nn::im2col_input_index(layer, 0, w, f);
+        if (idx >= 0) ored |= static_cast<std::uint16_t>(input.flat(idx));
+      }
+    }
+    benchmark::DoNotOptimize(needed_bits_unsigned(ored));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_GroupPrecisionBruteScan);
+
+void BM_PrecisionTableSweep(benchmark::State& state) {
+  // Steady state of simulate_conv: fetch the bulk table and read every
+  // chunk precision.
+  nn::Network net("bench", nn::Shape3{64, 28, 28});
+  net.add_conv("c", 128, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "bench";
+  p.conv_act = {9};
+  p.conv_weight = 11;
+  p.dynamic_act_trim = 1.5;
+  quant::apply_profile(net, p);
+  const std::int64_t wb_count = ceil_div(net.layer(0).windows(), 16);
+  const std::int64_t ic_count = ceil_div(net.layer(0).inner_length(), 16);
+  sim::NetworkWorkload wl(std::move(net), p);
+  sim::LayerWorkload& lw = wl.layer(0);
+  for (auto _ : state) {
+    const sim::ActPrecisionTable table = lw.act_group_precision_table(16);
+    std::int64_t sum = 0;
+    for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+      for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+        sum += table.at(0, wb, ic);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * wb_count * ic_count);
+}
+BENCHMARK(BM_PrecisionTableSweep);
+
+void BM_WorkloadCalibration(benchmark::State& state) {
+  // prepare_network's per-layer cost: the group-calibration bisection plus
+  // tensor materialization and the plane build. The generic spec
+  // calibration is process-cached, so iterations measure the per-layer
+  // work the CalibrationPlanes fast path accelerates.
+  quant::PrecisionProfile p;
+  p.network = "bench";
+  p.conv_act = {9};
+  p.conv_weight = 11;
+  p.dynamic_act_trim = 1.5;
+  for (auto _ : state) {
+    nn::Network net("bench", nn::Shape3{64, 28, 28});
+    net.add_conv("c", 128, 3, 1, 1).precision_group = 0;
+    quant::apply_profile(net, p);
+    sim::NetworkWorkload wl(std::move(net), p);
+    benchmark::DoNotOptimize(wl.layer(0).act_group_precision(0, 0, 0, 16));
+  }
+}
+BENCHMARK(BM_WorkloadCalibration);
 
 }  // namespace
 

@@ -1,0 +1,37 @@
+// Shared im2col index mapping for convolution windows. The workload
+// group-precision scans, the functional DPNN engine and the OR-plane
+// builder all need the same (window, flat) -> input-element mapping with
+// zero-padding semantics; keeping one definition here stops the index math
+// from drifting apart between them.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace loom::nn {
+
+/// Flat input-tensor index (CHW row-major) of inner-product element `flat`
+/// of sliding window `window` in conv group `g`, or -1 when the position
+/// falls into the zero padding. `flat` enumerates [ci][ky][kx] within the
+/// group, `window` enumerates [oy][ox].
+[[nodiscard]] inline std::int64_t im2col_input_index(const Layer& layer,
+                                                     std::int64_t g,
+                                                     std::int64_t window,
+                                                     std::int64_t flat) noexcept {
+  const std::int64_t kh = layer.kernel_h;
+  const std::int64_t kw = layer.kernel_w;
+  const std::int64_t oy = window / layer.out.w;
+  const std::int64_t ox = window % layer.out.w;
+  const std::int64_t ci = flat / (kh * kw);
+  const std::int64_t rem = flat % (kh * kw);
+  const std::int64_t ky = rem / kw;
+  const std::int64_t kx = rem % kw;
+  const std::int64_t iy = oy * layer.stride + ky - layer.pad;
+  const std::int64_t ix = ox * layer.stride + kx - layer.pad;
+  if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) return -1;
+  const std::int64_t c = g * layer.group_in_channels() + ci;
+  return (c * layer.in.h + iy) * layer.in.w + ix;
+}
+
+}  // namespace loom::nn

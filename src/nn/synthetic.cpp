@@ -27,11 +27,24 @@ Value SyntheticSource::at(std::uint64_t index) const noexcept {
   const double zgate = static_cast<double>((raw >> 1) & 0x3FF) * 0x1.0p-10;
   if (zgate < spec_.zero_fraction) return 0;
 
+  const std::int32_t mag = magnitude_for_draw(u);
+  return static_cast<Value>(negative ? -mag : mag);
+}
+
+double SyntheticSource::uniform_draw(std::uint64_t index) const noexcept {
+  const std::uint64_t raw = rng_.bits(index);
+  const double zgate = static_cast<double>((raw >> 1) & 0x3FF) * 0x1.0p-10;
+  if (zgate < spec_.zero_fraction) return -1.0;
+  return static_cast<double>(raw >> 11) * 0x1.0p-53;
+}
+
+Value SyntheticSource::magnitude_for_draw(double u) const noexcept {
+  if (u < 0.0) return 0;
   const double scaled =
       static_cast<double>(max_magnitude_ + 1) * std::pow(u, spec_.alpha);
   auto mag = static_cast<std::int32_t>(scaled);
   if (mag > max_magnitude_) mag = max_magnitude_;
-  return static_cast<Value>(negative ? -mag : mag);
+  return static_cast<Value>(mag);
 }
 
 Tensor make_activation_tensor(const Shape3& shape, const SyntheticSpec& spec,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "nn/im2col.hpp"
 
 namespace loom::sim {
 
@@ -10,16 +11,8 @@ namespace {
 
 Value window_value(const nn::Layer& layer, const nn::Tensor& input,
                    std::int64_t g, std::int64_t window, std::int64_t flat) {
-  const std::int64_t kh = layer.kernel_h;
-  const std::int64_t kw = layer.kernel_w;
-  const std::int64_t oy = window / layer.out.w;
-  const std::int64_t ox = window % layer.out.w;
-  const std::int64_t ci = flat / (kh * kw);
-  const std::int64_t rem = flat % (kh * kw);
-  const std::int64_t iy = oy * layer.stride + rem / kw - layer.pad;
-  const std::int64_t ix = ox * layer.stride + rem % kw - layer.pad;
-  if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) return 0;
-  return input.at3(g * layer.group_in_channels() + ci, iy, ix);
+  const std::int64_t idx = nn::im2col_input_index(layer, g, window, flat);
+  return idx < 0 ? 0 : input.flat(idx);
 }
 
 }  // namespace

@@ -64,6 +64,23 @@ LayerResult LoomSimulator::simulate_conv(LayerWorkload& lw) const {
   const std::int64_t wb_count = ceil_div(windows, cols);
   const std::int64_t ic_count = ceil_div(inner, lanes);
 
+  // Dynamic detection happens at the dispatcher on AM-fetch groups of
+  // 16 windows x 16 lanes (256 activations) regardless of the SIP
+  // column count, so the LM2b/4b variants see the same per-group
+  // precisions as LM1b (paper §3.2). The whole per-layer table is filled
+  // from the OR planes up front; the loops below are plain array reads.
+  ActPrecisionTable pa_table;
+  if (cfg_.dynamic_act_precision) {
+    pa_table = lw.act_group_precision_table(16);
+    // One-time loop-bound contract for the whole layer (replaces the old
+    // per-query argument checks): a config with *finer* lanes than the
+    // workload table would read past it, so it must fail loudly here. (A
+    // coarser-lanes config passes, reading sub-chunk precisions — the same
+    // silent semantics as before. The wb index (wb*cols)/16 is in bounds
+    // by construction for a cols=16 table of the same layer.)
+    LOOM_EXPECTS(ic_count <= pa_table.ic_count());
+  }
+
   double cycles = 0.0;
   double busy_lane_cycles = 0.0;
   double pa_weighted = 0.0;
@@ -72,18 +89,31 @@ LayerResult LoomSimulator::simulate_conv(LayerWorkload& lw) const {
   for (int g = 0; g < layer.groups; ++g) {
     const std::int64_t cog = layer.group_out_channels();
     const std::int64_t fb = ceil_div(cog, rows);
+    const auto dcog = static_cast<double>(cog);
+    // Weight-memory reads are invariant per chunk: hoist the per-chunk
+    // truncation once and scale by the chunk count (integer-exact).
+    r.activity.wm_read_bits +=
+        static_cast<std::uint64_t>(dcog * static_cast<double>(lanes) * pw) *
+        static_cast<std::uint64_t>(wb_count * ic_count);
     for (std::int64_t wb = 0; wb < wb_count; ++wb) {
       const std::int64_t cols_used =
           std::min<std::int64_t>(cols, windows - wb * cols);
+      // Per-(wb, ic) accounting that does not depend on the detected
+      // precision, hoisted out of the chunk loop (integer-exact: every
+      // chunk of this wb contributes the identical truncated value, and
+      // the lanes_used tail sums to `inner` across the ic chunks).
+      r.activity.wr_bits_loaded += static_cast<std::uint64_t>(
+                                       dcog * static_cast<double>(cols_used * lanes) * pw) *
+                                   static_cast<std::uint64_t>(ic_count);
+      if (cfg_.dynamic_act_precision) {
+        r.activity.detector_values +=
+            static_cast<std::uint64_t>(cols_used * inner);
+      }
       for (std::int64_t ic = 0; ic < ic_count; ++ic) {
         const std::int64_t lanes_used =
             std::min<std::int64_t>(lanes, inner - ic * lanes);
-        // Dynamic detection happens at the dispatcher on AM-fetch groups of
-        // 16 windows x 16 lanes (256 activations) regardless of the SIP
-        // column count, so the LM2b/4b variants see the same per-group
-        // precisions as LM1b (paper §3.2).
         const int pa = cfg_.dynamic_act_precision
-                           ? lw.act_group_precision(g, (wb * cols) / 16, ic, 16)
+                           ? pa_table.at(g, (wb * cols) / 16, ic)
                            : layer.act_precision;
         const auto pa_serial = static_cast<double>(ceil_div(pa, bpc));
         const double chunk_cycles = pa_serial * pw;
@@ -93,7 +123,6 @@ LayerResult LoomSimulator::simulate_conv(LayerWorkload& lw) const {
         ++chunks;
 
         // Active rows summed over the fb filter blocks equal cog exactly.
-        const auto dcog = static_cast<double>(cog);
         r.activity.sip_lane_bit_ops += static_cast<std::uint64_t>(
             dcog * static_cast<double>(cols_used * lanes_used) *
             static_cast<double>(pa) * pw);
@@ -103,10 +132,6 @@ LayerResult LoomSimulator::simulate_conv(LayerWorkload& lw) const {
                             (static_cast<double>(lanes_used) /
                              static_cast<double>(lanes)) *
                             pa_serial * pw;
-        r.activity.wr_bits_loaded += static_cast<std::uint64_t>(
-            dcog * static_cast<double>(cols_used * lanes) * pw);
-        r.activity.wm_read_bits +=
-            static_cast<std::uint64_t>(dcog * static_cast<double>(lanes) * pw);
         r.activity.abin_read_bits += static_cast<std::uint64_t>(
             static_cast<double>(cols_used * lanes * pa) * pw *
             static_cast<double>(fb));
@@ -116,10 +141,6 @@ LayerResult LoomSimulator::simulate_conv(LayerWorkload& lw) const {
             cols_used * lanes_used * pa * fb);
         r.activity.am_read_bits += am_bits;
         r.activity.abin_write_bits += am_bits;
-        if (cfg_.dynamic_act_precision) {
-          r.activity.detector_values +=
-              static_cast<std::uint64_t>(cols_used * lanes_used);
-        }
       }
     }
   }

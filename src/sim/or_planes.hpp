@@ -1,0 +1,108 @@
+// OR-plane precision engine: single-pass dense precomputation for
+// dynamic-precision detection (paper §3.2's per-bit OR trees over 16x16
+// activation groups).
+//
+// The cycle models ask "what precision does the detector find for the
+// `cols` windows x `lanes` inner positions processed concurrently?" many
+// millions of times per layer. Instead of re-deriving im2col indices (with
+// per-value div/mod and padding checks) for every query, ActOrPlanes
+// materializes, in one padding-aware pass per conv layer, a dense
+// (groups * ic_count) x windows matrix of uint16 OR masks — entry
+// (g, ic, w) is the OR of the activation magnitudes window `w` reads at
+// inner positions [ic*lanes, (ic+1)*lanes). Any group precision for any
+// `cols` then reduces to OR-ing `cols` contiguous entries of one row and a
+// leading-one detection, byte-identical to the scattered scan it replaces.
+//
+// CalibrationPlanes is the SyntheticSource-backed companion used before the
+// input tensor exists: it reduces each sampled detection group to the
+// maximum uniform draw behind its live activations. The synthetic magnitude
+// is monotone in the draw and the OR of a group shares its most significant
+// bit with the group maximum, so one raw-RNG pass warm-starts every
+// measurement of the calibration bisection — each iteration costs one
+// pow per sampled group instead of a fresh 256-value source scan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "nn/layer.hpp"
+#include "nn/synthetic.hpp"
+#include "nn/tensor.hpp"
+
+namespace loom::sim {
+
+/// Dense per-layer table of activation OR masks (see file comment). Rows
+/// are (conv group, input chunk) pairs; columns are sliding windows.
+class ActOrPlanes {
+ public:
+  /// Captures the conv geometry; `build` fills the table. Conv layers only.
+  ActOrPlanes(const nn::Layer& layer, int lanes);
+
+  /// One vectorized padding-aware pass over the input tensor. Interior
+  /// spans run as straight-line strided loops; border windows are excluded
+  /// by per-(kernel-position, output-row) range arithmetic, so the inner
+  /// loop carries no bounds checks. Parallelized across row stripes on the
+  /// shared plane pool — rows are disjoint, so the result is byte-identical
+  /// regardless of scheduling.
+  void build(const nn::Tensor& input);
+
+  [[nodiscard]] std::int64_t windows() const noexcept { return windows_; }
+  [[nodiscard]] std::int64_t ic_count() const noexcept { return ic_count_; }
+
+  /// OR mask of the detection group at (conv group g, window block wb,
+  /// input chunk ic) with `cols` concurrent windows (clipped at the window
+  /// count, matching the hardware's partial tail block).
+  [[nodiscard]] std::uint16_t group_or(std::int64_t g, std::int64_t ic,
+                                       std::int64_t wb,
+                                       int cols) const noexcept {
+    const std::uint16_t* r = row_ptr(g, ic);
+    const std::int64_t w0 = wb * cols;
+    const std::int64_t w1 = std::min(windows_, w0 + cols);
+    std::uint16_t ored = 0;
+    for (std::int64_t w = w0; w < w1; ++w) ored |= r[w];
+    return ored;
+  }
+
+ private:
+  [[nodiscard]] const std::uint16_t* row_ptr(std::int64_t g,
+                                             std::int64_t ic) const noexcept {
+    return masks_.data() +
+           static_cast<std::size_t>((g * ic_count_ + ic) * windows_);
+  }
+  void build_row(const Value* input, std::int64_t g, std::int64_t ic,
+                 std::uint16_t* row, bool zero_row) const;
+
+  // Geometry, copied out of the layer so the plane is self-contained.
+  std::int64_t in_h_, in_w_;
+  std::int64_t out_h_, out_w_;
+  std::int64_t kernel_h_, kernel_w_;
+  std::int64_t stride_, pad_;
+  std::int64_t groups_, group_in_channels_;
+  std::int64_t inner_, windows_, ic_count_;
+  int lanes_;
+  std::vector<std::uint16_t> masks_;
+};
+
+/// Source-backed reduction used by the group-calibration bisection: one
+/// max-uniform-draw entry per sampled detection group (see file comment).
+/// Sampling replicates the strided enumeration of the scan it replaces, so
+/// the measured means are byte-identical.
+class CalibrationPlanes {
+ public:
+  /// Streams the raw draws behind every sampled group of `layer` once.
+  /// `draws` must share seed/stream/zero_fraction with the sources later
+  /// passed to `mean_precision` (alpha may differ — draws ignore it).
+  CalibrationPlanes(const nn::Layer& layer, int lanes, int cols,
+                    int max_groups, const nn::SyntheticSource& draws);
+
+  /// Mean detected precision over the sampled groups under `src`'s spec,
+  /// clipped per group to `act_precision`.
+  [[nodiscard]] double mean_precision(const nn::SyntheticSource& src,
+                                      int act_precision) const;
+
+ private:
+  std::vector<double> group_max_draw_;  ///< -1 when a group has no live value
+};
+
+}  // namespace loom::sim

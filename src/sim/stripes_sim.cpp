@@ -37,6 +37,18 @@ LayerResult StripesSimulator::simulate_layer(LayerWorkload& lw,
     const std::int64_t wb_count = ceil_div(windows, windows_par);
     const std::int64_t ic_count = ceil_div(inner, lanes);
 
+    // Whole per-layer precision table from the OR planes; the loops below
+    // are plain array reads.
+    ActPrecisionTable pa_table;
+    if (cfg_.dynamic_act_precision) {
+      pa_table = lw.act_group_precision_table(windows_par);
+      // One-time loop-bound contract for the whole layer (replaces the old
+      // per-query argument checks): looser loop bounds than the table's
+      // extents must fail loudly, not read past it.
+      LOOM_EXPECTS(ic_count <= pa_table.ic_count() &&
+                   wb_count <= pa_table.wb_count());
+    }
+
     double cycles = 0.0;
     double busy = 0.0;
     double pa_weighted = 0.0;
@@ -44,44 +56,50 @@ LayerResult StripesSimulator::simulate_layer(LayerWorkload& lw,
     for (int g = 0; g < layer.groups; ++g) {
       const std::int64_t cog = layer.group_out_channels();
       const std::int64_t fb = ceil_div(cog, k);
+      const auto dcog = static_cast<double>(cog);
+      // Weight-memory reads are invariant per chunk (integer-exact hoist).
+      r.activity.wm_read_bits +=
+          static_cast<std::uint64_t>(dcog * static_cast<double>(lanes) * 16.0) *
+          static_cast<std::uint64_t>(wb_count * ic_count);
       for (std::int64_t wb = 0; wb < wb_count; ++wb) {
         const std::int64_t w_used =
             std::min<std::int64_t>(windows_par, windows - wb * windows_par);
+        // Precision-independent accounting hoisted out of the chunk loop
+        // (integer-exact: identical truncated value per ic chunk, and the
+        // lanes_used tail sums to `inner` across the ic chunks).
+        // Weights load bit-parallel into the per-lane registers once per
+        // chunk and stay for the pa serial cycles.
+        r.activity.wr_bits_loaded += static_cast<std::uint64_t>(
+                                         dcog * static_cast<double>(w_used * lanes) * 16.0) *
+                                     static_cast<std::uint64_t>(ic_count);
+        const std::uint64_t am_bits =
+            static_cast<std::uint64_t>(w_used * layer.act_precision * fb * inner);
+        r.activity.am_read_bits += am_bits;
+        r.activity.abin_write_bits += am_bits;
+        if (cfg_.dynamic_act_precision) {
+          r.activity.detector_values +=
+              static_cast<std::uint64_t>(w_used * inner);
+        }
         for (std::int64_t ic = 0; ic < ic_count; ++ic) {
           const std::int64_t lanes_used =
               std::min<std::int64_t>(lanes, inner - ic * lanes);
           const int pa = cfg_.dynamic_act_precision
-                             ? lw.act_group_precision(g, wb, ic, windows_par)
+                             ? pa_table.at(g, wb, ic)
                              : layer.act_precision;
           cycles += static_cast<double>(pa) * static_cast<double>(fb);
           pa_weighted += pa;
           ++chunks;
 
           // Active filters summed over the fb blocks equal cog exactly.
-          const auto dcog = static_cast<double>(cog);
           r.activity.stripes_lane_ops += static_cast<std::uint64_t>(
               dcog * static_cast<double>(w_used * lanes_used) *
               static_cast<double>(pa));
           busy += dcog * static_cast<double>(w_used) *
                   (static_cast<double>(lanes_used) / lanes) *
                   static_cast<double>(pa);
-          // Weights load bit-parallel into the per-lane registers once per
-          // chunk and stay for the pa serial cycles.
-          r.activity.wr_bits_loaded += static_cast<std::uint64_t>(
-              dcog * static_cast<double>(w_used * lanes) * 16.0);
-          r.activity.wm_read_bits += static_cast<std::uint64_t>(
-              dcog * static_cast<double>(lanes) * 16.0);
           r.activity.abin_read_bits += static_cast<std::uint64_t>(
               static_cast<double>(w_used * lanes * pa) *
               static_cast<double>(fb));
-          const std::uint64_t am_bits = static_cast<std::uint64_t>(
-              w_used * lanes_used * layer.act_precision * fb);
-          r.activity.am_read_bits += am_bits;
-          r.activity.abin_write_bits += am_bits;
-          if (cfg_.dynamic_act_precision) {
-            r.activity.detector_values +=
-                static_cast<std::uint64_t>(w_used * lanes_used);
-          }
         }
       }
     }

@@ -49,6 +49,10 @@ LayerWorkload::LayerWorkload(const nn::Layer& layer, std::size_t layer_index,
     table3_target_ = weight_precision_target(layer, profile);
   }
   if (layer.kind == nn::LayerKind::kConv) {
+    // Activation-group geometry, derived once so steady-state queries never
+    // re-run the shape arithmetic.
+    windows_ = layer.windows();
+    ic_count_ = ceil_div(layer.inner_length(), opts.lanes);
     // Calibrate the activation distribution so groups of 256 concurrent
     // values (the LM1b/Stripes detection group) average the target trim.
     act_spec_ = quant::calibrated_spec_cached(
@@ -65,71 +69,15 @@ void LayerWorkload::ensure_input_tensor() {
                                       nn::activation_stream(layer_index_));
 }
 
-Value LayerWorkload::window_value(std::int64_t g, std::int64_t window,
-                                  std::int64_t flat) const {
-  const std::int64_t kh = layer_.kernel_h;
-  const std::int64_t kw = layer_.kernel_w;
-  const std::int64_t oy = window / layer_.out.w;
-  const std::int64_t ox = window % layer_.out.w;
-  const std::int64_t ci = flat / (kh * kw);
-  const std::int64_t rem = flat % (kh * kw);
-  const std::int64_t ky = rem / kw;
-  const std::int64_t kx = rem % kw;
-  const std::int64_t iy = oy * layer_.stride + ky - layer_.pad;
-  const std::int64_t ix = ox * layer_.stride + kx - layer_.pad;
-  if (iy < 0 || iy >= layer_.in.h || ix < 0 || ix >= layer_.in.w) return 0;
-  return input_->at3(g * layer_.group_in_channels() + ci, iy, ix);
-}
-
-Value LayerWorkload::window_value_from(const nn::SyntheticSource& src,
-                                       std::int64_t g, std::int64_t window,
-                                       std::int64_t flat) const {
-  const std::int64_t kh = layer_.kernel_h;
-  const std::int64_t kw = layer_.kernel_w;
-  const std::int64_t oy = window / layer_.out.w;
-  const std::int64_t ox = window % layer_.out.w;
-  const std::int64_t ci = flat / (kh * kw);
-  const std::int64_t rem = flat % (kh * kw);
-  const std::int64_t ky = rem / kw;
-  const std::int64_t kx = rem % kw;
-  const std::int64_t iy = oy * layer_.stride + ky - layer_.pad;
-  const std::int64_t ix = ox * layer_.stride + kx - layer_.pad;
-  if (iy < 0 || iy >= layer_.in.h || ix < 0 || ix >= layer_.in.w) return 0;
-  const std::int64_t c = g * layer_.group_in_channels() + ci;
-  const std::int64_t flat_index = (c * layer_.in.h + iy) * layer_.in.w + ix;
-  return src.at(static_cast<std::uint64_t>(flat_index));
-}
-
-double LayerWorkload::measure_group_mean(const nn::SyntheticSource& src,
-                                         int cols, int max_groups) const {
-  const std::int64_t windows = layer_.windows();
-  const std::int64_t inner = layer_.inner_length();
-  const std::int64_t wb_count = ceil_div(windows, cols);
-  const std::int64_t ic_count = ceil_div(inner, opts_.lanes);
-  const std::int64_t total =
-      static_cast<std::int64_t>(layer_.groups) * wb_count * ic_count;
-  const std::int64_t stride = std::max<std::int64_t>(1, total / max_groups);
-
-  double sum = 0.0;
-  std::int64_t n = 0;
-  for (std::int64_t t = 0; t < total; t += stride) {
-    const std::int64_t g = t / (wb_count * ic_count);
-    const std::int64_t rem = t % (wb_count * ic_count);
-    const std::int64_t wb = rem / ic_count;
-    const std::int64_t ic = rem % ic_count;
-    std::uint32_t ored = 0;
-    const std::int64_t w_end = std::min<std::int64_t>((wb + 1) * cols, windows);
-    const std::int64_t f_end =
-        std::min<std::int64_t>((ic + 1) * opts_.lanes, inner);
-    for (std::int64_t w = wb * cols; w < w_end; ++w) {
-      for (std::int64_t f = ic * opts_.lanes; f < f_end; ++f) {
-        ored |= static_cast<std::uint16_t>(window_value_from(src, g, w, f));
-      }
-    }
-    sum += std::min(needed_bits_unsigned(ored), layer_.act_precision);
-    ++n;
+void LayerWorkload::ensure_planes() {
+  ensure_input_tensor();
+  if (!planes_.has_value()) {
+    // Build fully before engaging the optional: a throwing build must not
+    // leave a half-built plane for a later query to index out of bounds.
+    ActOrPlanes planes(layer_, opts_.lanes);
+    planes.build(*input_);
+    planes_ = std::move(planes);
   }
-  return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 void LayerWorkload::ensure_group_calibrated() {
@@ -146,8 +94,20 @@ void LayerWorkload::ensure_group_calibrated() {
 
   nn::SyntheticSpec spec = act_spec_;
   spec.alpha = 1.0;
-  const double at_min = measure_group_mean(
-      nn::SyntheticSource(opts_.seed, stream, spec), kCols, kMaxGroups);
+  // One raw-RNG pass over the sampled groups warm-starts every bisection
+  // measurement: the draws behind a group are alpha-independent, so each
+  // iteration below costs one pow per group instead of a full 256-value
+  // source scan. The measured means are byte-identical to the scan's, so
+  // the bisection path — and the final spec — are unchanged.
+  const CalibrationPlanes planes(
+      layer_, opts_.lanes, kCols, kMaxGroups,
+      nn::SyntheticSource(opts_.seed, stream, spec));
+  const auto measure = [&](const nn::SyntheticSpec& s) {
+    return planes.mean_precision(nn::SyntheticSource(opts_.seed, stream, s),
+                                 layer_.act_precision);
+  };
+
+  const double at_min = measure(spec);
   if (act_target_precision_ >= at_min) {
     act_spec_ = spec;
     return;
@@ -157,8 +117,7 @@ void LayerWorkload::ensure_group_calibrated() {
   for (int it = 0; it < kIterations; ++it) {
     const double mid = 0.5 * (lo + hi);
     spec.alpha = std::exp(mid);
-    const double measured = measure_group_mean(
-        nn::SyntheticSource(opts_.seed, stream, spec), kCols, kMaxGroups);
+    const double measured = measure(spec);
     if (std::abs(measured - act_target_precision_) < 0.04) break;
     if (measured > act_target_precision_) {
       lo = mid;
@@ -169,70 +128,95 @@ void LayerWorkload::ensure_group_calibrated() {
   act_spec_ = spec;
 }
 
-int LayerWorkload::act_group_precision(std::int64_t g, std::int64_t wb,
-                                       std::int64_t ic, int cols) {
+LayerWorkload::ColsCache& LayerWorkload::ensure_cols_cache(int cols) {
   LOOM_EXPECTS(layer_.kind == nn::LayerKind::kConv);
   LOOM_EXPECTS(cols >= 1);
+  ensure_planes();
+  if (const auto it = group_precision_cache_.find(cols);
+      it != group_precision_cache_.end()) {
+    return it->second;
+  }
+  // Allocate the slots before inserting the map entry so a failed
+  // allocation leaves the cache untouched (no half-built entry with null
+  // slots for a later shared-lock lookup to dereference).
+  const std::int64_t wb_count = ceil_div(windows_, cols);
+  auto slots = std::make_unique<std::atomic<std::uint8_t>[]>(
+      static_cast<std::size_t>(layer_.groups * wb_count * ic_count_));
+  ColsCache& cache = group_precision_cache_.try_emplace(cols).first->second;
+  cache.cols = cols;
+  cache.wb_count = wb_count;
+  cache.slots = std::move(slots);
+  return cache;
+}
 
-  const std::int64_t windows = layer_.windows();
-  const std::int64_t inner = layer_.inner_length();
-  const std::int64_t wb_count = ceil_div(windows, cols);
-  const std::int64_t ic_count = ceil_div(inner, opts_.lanes);
-  LOOM_EXPECTS(g >= 0 && g < layer_.groups);
-  LOOM_EXPECTS(wb >= 0 && wb < wb_count);
-  LOOM_EXPECTS(ic >= 0 && ic < ic_count);
+int LayerWorkload::cached_precision(const ColsCache& cache, std::int64_t g,
+                                    std::int64_t wb, std::int64_t ic) const {
+  // One folded bounds check instead of re-deriving the layer geometry on
+  // every call (negative arguments wrap to huge unsigned values and fail).
+  LOOM_EXPECTS(static_cast<std::uint64_t>(g) <
+                   static_cast<std::uint64_t>(layer_.groups) &&
+               static_cast<std::uint64_t>(wb) <
+                   static_cast<std::uint64_t>(cache.wb_count) &&
+               static_cast<std::uint64_t>(ic) <
+                   static_cast<std::uint64_t>(ic_count_));
   const std::size_t key =
-      static_cast<std::size_t>((g * wb_count + wb) * ic_count + ic);
+      static_cast<std::size_t>((g * cache.wb_count + wb) * ic_count_ + ic);
+  // Slots are biased by +1 (0 = "not yet computed"), so an all-zero group
+  // still caches. A raced duplicate compute stores the same byte — the
+  // value is a pure function of the key over the immutable OR planes.
+  const std::uint8_t cached = cache.slots[key].load(std::memory_order_relaxed);
+  if (cached != 0) return cached - 1;
+  const int detected = needed_bits_unsigned(planes_->group_or(g, ic, wb, cache.cols));
+  const int clipped = std::min(detected, layer_.act_precision);
+  cache.slots[key].store(static_cast<std::uint8_t>(clipped + 1),
+                         std::memory_order_relaxed);
+  return clipped;
+}
 
-  // OR the magnitudes of the concurrently processed activations: `cols`
-  // windows x `lanes` inner positions (the hardware's per-bit OR trees).
-  // Requires the input tensor; publishes through the atomic cache element.
-  // Cache elements are biased by +1 (0 = "not yet computed"), so an
-  // all-zero group — which legitimately detects precision 0 — still caches.
-  const auto compute_and_publish =
-      [&](std::vector<std::atomic<std::uint8_t>>& cache) -> int {
-    const std::uint8_t cached = cache[key].load(std::memory_order_relaxed);
-    if (cached != 0) return cached - 1;
-    std::uint32_t ored = 0;
-    const std::int64_t w_end = std::min<std::int64_t>((wb + 1) * cols, windows);
-    const std::int64_t f_end =
-        std::min<std::int64_t>((ic + 1) * opts_.lanes, inner);
-    for (std::int64_t w = wb * cols; w < w_end; ++w) {
-      for (std::int64_t f = ic * opts_.lanes; f < f_end; ++f) {
-        ored |= static_cast<std::uint16_t>(window_value(g, w, f));
-      }
-    }
-    const int detected = needed_bits_unsigned(ored);
-    const int clipped = std::min(detected, layer_.act_precision);
-    cache[key].store(static_cast<std::uint8_t>(clipped + 1),
-                     std::memory_order_relaxed);
-    return clipped;
-  };
-
-  // Steady state runs under the shared lock: once the input tensor and this
-  // cols' cache exist, hits read the atomic element and misses compute from
-  // the (now immutable) tensor and publish lock-free — the value is a pure
-  // function of the key, so a raced duplicate compute stores the same byte.
+int LayerWorkload::act_group_precision(std::int64_t g, std::int64_t wb,
+                                       std::int64_t ic, int cols) {
+  // Steady state runs under the shared lock: once the OR planes and this
+  // cols' cache exist, hits read the atomic slot and misses OR a handful of
+  // contiguous plane entries and publish lock-free.
   {
     const std::shared_lock<std::shared_mutex> lock(memo_mutex_);
-    if (input_.has_value()) {
-      const auto it = group_precision_cache_.find(cols);
-      if (it != group_precision_cache_.end()) {
-        return compute_and_publish(it->second);
-      }
+    const auto it = group_precision_cache_.find(cols);
+    if (it != group_precision_cache_.end()) {
+      return cached_precision(it->second, g, wb, ic);
     }
   }
-
-  // First call for this cols: materialize the tensor and size the cache
-  // under the exclusive lock.
+  // First call for this cols: build the planes and size the cache under the
+  // exclusive lock.
   const std::lock_guard<std::shared_mutex> lock(memo_mutex_);
-  ensure_input_tensor();
-  const auto it =
-      group_precision_cache_
-          .try_emplace(cols, static_cast<std::size_t>(
-                                 layer_.groups * wb_count * ic_count))
-          .first;
-  return compute_and_publish(it->second);
+  return cached_precision(ensure_cols_cache(cols), g, wb, ic);
+}
+
+ActPrecisionTable LayerWorkload::act_group_precision_table(int cols) {
+  {
+    const std::shared_lock<std::shared_mutex> lock(memo_mutex_);
+    const auto it = group_precision_cache_.find(cols);
+    if (it != group_precision_cache_.end() &&
+        it->second.table_filled.load(std::memory_order_acquire)) {
+      return {it->second.slots.get(), it->second.wb_count, ic_count_};
+    }
+  }
+  const std::lock_guard<std::shared_mutex> lock(memo_mutex_);
+  ColsCache& cache = ensure_cols_cache(cols);
+  if (!cache.table_filled.load(std::memory_order_relaxed)) {
+    // Fill from whole plane rows: for a fixed (g, ic) the window blocks OR
+    // contiguous segments of one row, so the pass streams each row exactly
+    // once. cached_precision keeps the detect/clip/bias contract in one
+    // place for both bulk fill and single queries.
+    for (std::int64_t g = 0; g < layer_.groups; ++g) {
+      for (std::int64_t ic = 0; ic < ic_count_; ++ic) {
+        for (std::int64_t wb = 0; wb < cache.wb_count; ++wb) {
+          (void)cached_precision(cache, g, wb, ic);
+        }
+      }
+    }
+    cache.table_filled.store(true, std::memory_order_release);
+  }
+  return {cache.slots.get(), cache.wb_count, ic_count_};
 }
 
 double LayerWorkload::effective_weight_precision() {

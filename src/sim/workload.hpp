@@ -7,14 +7,17 @@
 //  * act_group_precision(g, wb, ic, cols) returns the precision the dynamic
 //    detector would find for the activations processed concurrently in
 //    window-block `wb`, input-chunk `ic` of conv group `g` when `cols`
-//    windows run in parallel — computed from the actual tensor values via
-//    im2col indexing (zero padding included) and memoized.
+//    windows run in parallel. Queries are answered from the layer's
+//    OR-plane table (sim/or_planes.hpp) — built in one padding-aware pass —
+//    and memoized; act_group_precision_table() bulk-fills a whole `cols`
+//    table so the simulators' steady state is a plain array read.
 //  * Weight tensors are streamed (never materialized) from sources
 //    calibrated to Table 3's effective per-group precisions; the measured
 //    mean effective precision feeds the §4.6 performance estimate.
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -27,6 +30,7 @@
 #include "nn/synthetic.hpp"
 #include "nn/tensor.hpp"
 #include "quant/profiles.hpp"
+#include "sim/or_planes.hpp"
 
 namespace loom::sim {
 
@@ -39,6 +43,43 @@ struct WorkloadOptions {
   std::int64_t weight_sample_cap = 1 << 21;
 };
 
+/// Immutable dense view of one layer's detected per-chunk activation
+/// precisions for a fixed `cols`, returned by
+/// LayerWorkload::act_group_precision_table. `at` is a single relaxed byte
+/// load — the simulators' steady-state path. Valid for the lifetime of the
+/// owning LayerWorkload.
+class ActPrecisionTable {
+ public:
+  ActPrecisionTable() = default;
+
+  [[nodiscard]] int at(std::int64_t g, std::int64_t wb,
+                       std::int64_t ic) const noexcept {
+    assert(slots_ != nullptr && g >= 0 && wb >= 0 && wb < wb_count_ &&
+           ic >= 0 && ic < ic_count_);
+    return static_cast<int>(
+               slots_[static_cast<std::size_t>((g * wb_count_ + wb) * ic_count_ +
+                                               ic)]
+                   .load(std::memory_order_relaxed)) -
+           1;
+  }
+
+  /// Table extents, so consumers can contract-check their loop bounds once
+  /// instead of per query (a lanes/cols mismatch would otherwise read out
+  /// of bounds).
+  [[nodiscard]] std::int64_t wb_count() const noexcept { return wb_count_; }
+  [[nodiscard]] std::int64_t ic_count() const noexcept { return ic_count_; }
+
+ private:
+  friend class LayerWorkload;
+  ActPrecisionTable(const std::atomic<std::uint8_t>* slots,
+                    std::int64_t wb_count, std::int64_t ic_count) noexcept
+      : slots_(slots), wb_count_(wb_count), ic_count_(ic_count) {}
+
+  const std::atomic<std::uint8_t>* slots_ = nullptr;
+  std::int64_t wb_count_ = 0;
+  std::int64_t ic_count_ = 0;
+};
+
 class LayerWorkload {
  public:
   LayerWorkload(const nn::Layer& layer, std::size_t layer_index,
@@ -49,10 +90,14 @@ class LayerWorkload {
 
   /// Detected precision for the activation group at (conv group g,
   /// window block wb, input chunk ic) with `cols` concurrent windows.
-  /// Result is clipped to the layer Pa; a group whose sampled activations
-  /// are all zero detects 0. Conv layers only. Thread-safe.
+  /// Result is clipped to the layer Pa. Conv layers only. Thread-safe.
   [[nodiscard]] int act_group_precision(std::int64_t g, std::int64_t wb,
                                         std::int64_t ic, int cols);
+
+  /// Bulk variant: detected precisions for *every* (g, wb, ic) chunk at
+  /// `cols`, filled from whole OR-plane rows in one pass on first use.
+  /// Thread-safe; the view stays valid for this workload's lifetime.
+  [[nodiscard]] ActPrecisionTable act_group_precision_table(int cols);
 
   /// Mean effective per-group (16 weights) precision, measured by streaming
   /// the calibrated weight source (paper Table 3 / §4.6).
@@ -82,29 +127,41 @@ class LayerWorkload {
   int out_precision = kBasePrecision;
 
  private:
+  /// Per-cols memo: geometry derived once at creation (steady-state calls
+  /// no longer re-derive wb/ic counts or re-run the full argument
+  /// contract), plus the precision slots. Slots are atomic so concurrent
+  /// misses on disjoint keys can compute under the *shared* lock (the OR
+  /// planes are immutable once published) and publish lock-free. Stored
+  /// values are biased by +1: 0 means "not yet computed".
+  struct ColsCache {
+    int cols = 0;
+    std::int64_t wb_count = 0;
+    std::unique_ptr<std::atomic<std::uint8_t>[]> slots;
+    std::atomic<bool> table_filled{false};
+  };
+
   void ensure_input_tensor();
+  /// Materializes the input tensor and builds the activation OR planes
+  /// (requires the exclusive memo lock).
+  void ensure_planes();
+  /// Creates (or returns) the memo for `cols` under the exclusive lock.
+  [[nodiscard]] ColsCache& ensure_cols_cache(int cols);
+  /// Cache lookup; computes a missing entry from the OR planes.
+  [[nodiscard]] int cached_precision(const ColsCache& cache, std::int64_t g,
+                                     std::int64_t wb, std::int64_t ic) const;
   /// Refine the activation distribution so the mean detected precision over
   /// the layer's *actual* (window-block, input-chunk) groups — which share
   /// values between overlapping windows — hits the calibration target.
   void ensure_group_calibrated();
-  [[nodiscard]] Value window_value(std::int64_t g, std::int64_t window,
-                                   std::int64_t flat) const;
-  /// Same mapping but reading from a streamed source (used during
-  /// calibration, before the input tensor is materialized).
-  [[nodiscard]] Value window_value_from(const nn::SyntheticSource& src,
-                                        std::int64_t g, std::int64_t window,
-                                        std::int64_t flat) const;
-  [[nodiscard]] double measure_group_mean(const nn::SyntheticSource& src,
-                                          int cols, int max_groups) const;
 
   const nn::Layer& layer_;
   std::size_t layer_index_;
   WorkloadOptions opts_;
-  /// Guards the activation-side memo state (input tensor + group caches)
-  /// so one workload can serve several simulator threads (core runner
-  /// `jobs` fan-out). Steady-state act_group_precision calls take it
-  /// shared — concurrent simulators of one network don't serialize — and
-  /// only first-call-per-cols setup takes it exclusive.
+  /// Guards the activation-side memo state (input tensor + OR planes +
+  /// group caches) so one workload can serve several simulator threads
+  /// (core runner `jobs` fan-out). Steady-state act_group_precision calls
+  /// take it shared — concurrent simulators of one network don't
+  /// serialize — and only first-call-per-cols setup takes it exclusive.
   std::shared_mutex memo_mutex_;
   /// Guards the weight-side memos. Separate from memo_mutex_ so the long
   /// weight streams never block activation lookups; computing *under* the
@@ -113,18 +170,16 @@ class LayerWorkload {
   std::mutex weight_mutex_;
   double act_target_precision_;   ///< calibration target (Pa - trim)
   double table3_target_ = 0.0;    ///< effective weight precision target
+  // Conv activation-group geometry, derived once at construction.
+  std::int64_t windows_ = 0;
+  std::int64_t ic_count_ = 0;
   std::optional<nn::Tensor> input_;
+  std::optional<ActOrPlanes> planes_;
   nn::SyntheticSpec act_spec_;
   bool group_calibrated_ = false;
   std::optional<double> measured_weight_precision_;
   std::optional<double> essential_planes_;
-  /// Per-cols memo of detected group precisions. Elements are atomic so
-  /// concurrent misses on disjoint keys can compute under the *shared* lock
-  /// (the input tensor is immutable once published) and publish lock-free.
-  /// Stored values are biased by +1: 0 means "not yet computed", so an
-  /// all-zero group (detected precision 0) still caches.
-  std::unordered_map<int, std::vector<std::atomic<std::uint8_t>>>
-      group_precision_cache_;
+  std::unordered_map<int, ColsCache> group_precision_cache_;
   std::unordered_map<int, double> honest_cache_;
 };
 
