@@ -9,6 +9,8 @@
 
 #include "core/loom.hpp"
 #include "nn/im2col.hpp"
+#include "sim/bitslice_engine.hpp"
+#include "sim/functional.hpp"
 #include "sim/or_planes.hpp"
 
 using namespace loom;
@@ -242,6 +244,89 @@ void BM_WorkloadCalibration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkloadCalibration);
+
+// ---- Functional fast path -------------------------------------------------
+
+/// The VGG-scale conv layer both functional benches run: 64ch 28x28 -> 128
+/// filters 3x3 (57.8M MACs), profile Pa 9 / Pw 11, ReLU-sparse synthetic
+/// activations. The ratio BM_FunctionalConvLayerScalar /
+/// BM_FunctionalConvLayer is the bit-sliced engine's single-core speedup.
+struct FunctionalBenchCase {
+  nn::Network net;
+  nn::Tensor input;
+  nn::Tensor weights;
+};
+
+FunctionalBenchCase functional_case() {
+  nn::Network net("bench", nn::Shape3{64, 28, 28});
+  net.add_conv("c", 128, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "bench";
+  p.conv_act = {9};
+  p.conv_weight = 11;
+  quant::apply_profile(net, p);
+  nn::SyntheticSpec act{.precision = 9, .alpha = 3.0, .is_signed = false,
+                        .zero_fraction = 0.45};
+  nn::SyntheticSpec wsp{.precision = 11, .alpha = 2.0, .is_signed = true};
+  FunctionalBenchCase c{std::move(net), {}, {}};
+  c.input = nn::make_activation_tensor(c.net.layer(0).in, act, 1, 0);
+  c.weights = nn::make_weight_tensor(c.net.layer(0).weight_count(), wsp, 2, 1);
+  return c;
+}
+
+void BM_FunctionalConvLayer(benchmark::State& state) {
+  const FunctionalBenchCase c = functional_case();
+  sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_conv(c.net.layer(0), c.input, c.weights, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * c.net.layer(0).macs());
+}
+BENCHMARK(BM_FunctionalConvLayer)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalConvLayerScalar(benchmark::State& state) {
+  // The scalar arch::Sip oracle on the same layer (one iteration: it is
+  // the slow baseline the fast path is measured against).
+  const FunctionalBenchCase c = functional_case();
+  sim::FunctionalLoomEngine engine(
+      sim::FunctionalOptions{.jobs = 1, .force_scalar = true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_conv(c.net.layer(0), c.input, c.weights, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * c.net.layer(0).macs());
+}
+BENCHMARK(BM_FunctionalConvLayerScalar)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_FunctionalConvLayerThreaded(benchmark::State& state) {
+  // Same layer with the (group, slab) fan-out over the shared pool.
+  const FunctionalBenchCase c = functional_case();
+  sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_conv(c.net.layer(0), c.input, c.weights, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * c.net.layer(0).macs());
+}
+BENCHMARK(BM_FunctionalConvLayerThreaded)->Unit(benchmark::kMillisecond);
+
+void BM_BitsliceTranspose(benchmark::State& state) {
+  // The 64x64 bit transpose that converts sliced accumulators back to
+  // per-column integers (two per filter row per slab).
+  std::uint64_t a[64];
+  for (int i = 0; i < 64; ++i) {
+    a[i] = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i + 1);
+  }
+  for (auto _ : state) {
+    sim::transpose64(a);
+    benchmark::DoNotOptimize(a[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BitsliceTranspose);
 
 }  // namespace
 

@@ -19,9 +19,23 @@ class DynamicPrecisionUnit {
   /// in value form. Returns at least 1 (a zero group still costs a cycle).
   [[nodiscard]] int detect(std::span<const Value> group) noexcept;
 
+  /// Detect over a group given as per-column spans (the dispatcher's fetch
+  /// group) without concatenating into a temporary buffer. One detector
+  /// invocation, same result as detect() on the concatenation.
+  [[nodiscard]] int detect(
+      std::span<const std::span<const Value>> columns) noexcept;
+
   /// Detect from bit-planes: OR each plane's words, then find the highest
   /// non-empty plane — exactly what the OR-tree hardware computes.
   [[nodiscard]] int detect_planes(const BitPlanes& planes) noexcept;
+
+  /// Fold externally-computed detections into the counters. The bit-sliced
+  /// functional engine evaluates the same OR groups word-parallel and
+  /// reports them here so detector statistics stay engine-agnostic.
+  void note_detections(std::uint64_t invocations, std::uint64_t values) noexcept {
+    invocations_ += invocations;
+    values_ += values;
+  }
 
   [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
   [[nodiscard]] std::uint64_t values_inspected() const noexcept { return values_; }

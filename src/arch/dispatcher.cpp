@@ -16,21 +16,16 @@ void Dispatcher::reset() noexcept {
   weight_bits_ = 0;
 }
 
-ActivationStream Dispatcher::stream_activations(
-    const std::vector<std::vector<Value>>& columns, int profile_precision,
-    bool dynamic) {
+void Dispatcher::stream_activations(
+    std::span<const std::span<const Value>> columns, int profile_precision,
+    bool dynamic, ActivationStream& out) {
   LOOM_EXPECTS(profile_precision >= 1 && profile_precision <= kBasePrecision);
-  ActivationStream out;
   out.columns = static_cast<int>(columns.size());
 
   int precision = profile_precision;
   if (dynamic) {
     // The detector sees the whole fetch group across columns.
-    std::vector<Value> group;
-    for (const auto& col : columns) {
-      group.insert(group.end(), col.begin(), col.end());
-    }
-    precision = std::min(detector_.detect(group), profile_precision);
+    precision = std::min(detector_.detect(columns), profile_precision);
   }
   out.precision = precision;
 
@@ -54,13 +49,11 @@ ActivationStream Dispatcher::stream_activations(
       act_bits_ += static_cast<std::uint64_t>(n);
     }
   }
-  return out;
 }
 
-WeightStream Dispatcher::stream_weights(
-    const std::vector<std::vector<Value>>& rows, int precision) {
+void Dispatcher::stream_weights(std::span<const std::span<const Value>> rows,
+                                int precision, WeightStream& out) {
   LOOM_EXPECTS(precision >= 1 && precision <= kBasePrecision);
-  WeightStream out;
   out.precision = precision;
   out.rows = static_cast<int>(rows.size());
   out.bits.assign(static_cast<std::size_t>(precision) *
@@ -81,6 +74,22 @@ WeightStream Dispatcher::stream_weights(
       weight_bits_ += static_cast<std::uint64_t>(n);
     }
   }
+}
+
+ActivationStream Dispatcher::stream_activations(
+    const std::vector<std::vector<Value>>& columns, int profile_precision,
+    bool dynamic) {
+  std::vector<std::span<const Value>> spans(columns.begin(), columns.end());
+  ActivationStream out;
+  stream_activations(spans, profile_precision, dynamic, out);
+  return out;
+}
+
+WeightStream Dispatcher::stream_weights(
+    const std::vector<std::vector<Value>>& rows, int precision) {
+  std::vector<std::span<const Value>> spans(rows.begin(), rows.end());
+  WeightStream out;
+  stream_weights(spans, precision, out);
   return out;
 }
 

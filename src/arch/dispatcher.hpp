@@ -6,7 +6,9 @@
 //
 // The functional engine (sim/functional.hpp) drives entire layers through
 // this component, so the serial data movement of Figure 2b — not just its
-// arithmetic — is executed and checked.
+// arithmetic — is executed and checked. The hot entry points take
+// caller-owned spans and reuse the caller's stream scratch, so the scalar
+// oracle path does not allocate inside layer inner loops.
 #pragma once
 
 #include <cstdint>
@@ -50,17 +52,36 @@ class Dispatcher {
  public:
   explicit Dispatcher(int lanes = 16);
 
-  /// Serialize a group of activation columns (each `lanes` values) into
-  /// MSB-first per-cycle bit vectors. With `dynamic` set, the precision
-  /// detector trims the streamed planes to the group's needed precision
-  /// (clipped to `profile_precision`).
+  /// Serialize a group of activation columns (each up to `lanes` values)
+  /// into MSB-first per-cycle bit vectors, reusing `out`'s storage. With
+  /// `dynamic` set, the precision detector trims the streamed planes to the
+  /// group's needed precision (clipped to `profile_precision`).
+  void stream_activations(std::span<const std::span<const Value>> columns,
+                          int profile_precision, bool dynamic,
+                          ActivationStream& out);
+
+  /// Serialize weight rows (each up to `lanes` values) into LSB-first WR
+  /// words, reusing `out`'s storage.
+  void stream_weights(std::span<const std::span<const Value>> rows,
+                      int precision, WeightStream& out);
+
+  /// Convenience allocating overloads (tests and one-off callers).
   [[nodiscard]] ActivationStream stream_activations(
       const std::vector<std::vector<Value>>& columns, int profile_precision,
       bool dynamic);
-
-  /// Serialize weight rows (each `lanes` values) into LSB-first WR words.
   [[nodiscard]] WeightStream stream_weights(
       const std::vector<std::vector<Value>>& rows, int precision);
+
+  /// Fold externally-computed streaming totals into the counters: the
+  /// bit-sliced fast path moves the same bits word-parallel and reports
+  /// them here so dispatcher statistics stay engine-agnostic.
+  void note_streamed(std::uint64_t act_bits, std::uint64_t weight_bits,
+                     std::uint64_t detect_invocations,
+                     std::uint64_t detect_values) noexcept {
+    act_bits_ += act_bits;
+    weight_bits_ += weight_bits;
+    detector_.note_detections(detect_invocations, detect_values);
+  }
 
   [[nodiscard]] const DynamicPrecisionUnit& detector() const noexcept {
     return detector_;

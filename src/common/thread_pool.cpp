@@ -4,6 +4,12 @@
 
 namespace loom {
 
+ThreadPool& shared_pool() {
+  static ThreadPool pool(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);

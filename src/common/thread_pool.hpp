@@ -61,4 +61,13 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Process-wide pool (one worker per hardware thread) shared by the
+/// data-parallel kernels — OR-plane builds, the bit-sliced functional
+/// engine — so nested runner fan-outs queue stripes instead of spawning
+/// thread storms. Contract: tasks submitted to this pool must never call
+/// parallel_for/submit on it themselves (a worker blocking on its own pool
+/// can deadlock); dedicated pools (e.g. the runner's) may block on it
+/// freely.
+[[nodiscard]] ThreadPool& shared_pool();
+
 }  // namespace loom

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "nn/im2col.hpp"
+#include "sim/bitslice_engine.hpp"
+#include "sim/functional.hpp"
 
 namespace loom::sim {
 
@@ -15,11 +17,23 @@ Value window_value(const nn::Layer& layer, const nn::Tensor& input,
   return idx < 0 ? 0 : input.flat(idx);
 }
 
+/// The bit-sliced engine configured for DPNN semantics: every operand at
+/// full signed 16-bit precision, no dynamic trimming. `rows`/`cols` only
+/// shape the slab walk — the exact accumulators do not depend on them.
+BitsliceEngine::Options dpnn_slice_options(const DpnnFunctionalOptions& opts) {
+  return BitsliceEngine::Options{.rows = opts.filters,
+                                 .cols = 16,
+                                 .lanes = opts.act_lanes,
+                                 .jobs = opts.jobs};
+}
+
 }  // namespace
 
 FunctionalDpnnEngine::FunctionalDpnnEngine(DpnnFunctionalOptions opts)
     : opts_(opts) {
   LOOM_EXPECTS(opts.act_lanes >= 1 && opts.filters >= 1);
+  use_bitslice_ = !opts_.force_scalar && !functional_scalar_env() &&
+                  BitsliceEngine::supports(dpnn_slice_options(opts_));
 }
 
 DpnnFunctionalRun FunctionalDpnnEngine::run_conv(const nn::Layer& layer,
@@ -35,43 +49,59 @@ DpnnFunctionalRun FunctionalDpnnEngine::run_conv(const nn::Layer& layer,
   const std::int64_t inner = layer.inner_length();
   const std::int64_t windows = layer.windows();
   const std::int64_t cog = layer.group_out_channels();
+  const std::int64_t fb_count = ceil_div(cog, opts_.filters);
+  const std::int64_t ic_count = ceil_div(inner, lanes);
 
-  std::vector<arch::IpUnit> ips(static_cast<std::size_t>(opts_.filters),
-                                arch::IpUnit(lanes));
-  std::vector<Value> acts(static_cast<std::size_t>(lanes));
-  std::vector<Value> wvals(static_cast<std::size_t>(lanes));
+  if (use_bitslice_) {
+    BitsliceEngine engine(dpnn_slice_options(opts_));
+    const BitsliceEngine::SliceSpec spec{.act_precision = kBasePrecision,
+                                         .weight_precision = kBasePrecision,
+                                         .act_signed = true,
+                                         .dynamic = false};
+    (void)engine.run_conv(layer, input, weights, spec, run.wide);
+    // The baseline schedule is data-independent: one cycle per (filter
+    // block, window, input chunk).
+    run.cycles = static_cast<std::uint64_t>(layer.groups) *
+                 static_cast<std::uint64_t>(fb_count) *
+                 static_cast<std::uint64_t>(windows) *
+                 static_cast<std::uint64_t>(ic_count);
+  } else {
+    std::vector<arch::IpUnit> ips(static_cast<std::size_t>(opts_.filters),
+                                  arch::IpUnit(lanes));
+    std::vector<Value> acts(static_cast<std::size_t>(lanes));
+    std::vector<Value> wvals(static_cast<std::size_t>(lanes));
 
-  for (std::int64_t g = 0; g < layer.groups; ++g) {
-    const std::int64_t fb_count = ceil_div(cog, opts_.filters);
-    for (std::int64_t fb = 0; fb < fb_count; ++fb) {
-      const std::int64_t f0 = fb * opts_.filters;
-      const std::int64_t filters_used =
-          std::min<std::int64_t>(opts_.filters, cog - f0);
-      for (std::int64_t window = 0; window < windows; ++window) {
-        for (auto& ip : ips) ip.begin_output();
-        for (std::int64_t base = 0; base < inner; base += lanes) {
-          // One cycle: lanes activations broadcast to all IP units.
-          const std::int64_t n = std::min<std::int64_t>(lanes, inner - base);
-          for (std::int64_t l = 0; l < n; ++l) {
-            acts[static_cast<std::size_t>(l)] =
-                window_value(layer, input, g, window, base + l);
+    for (std::int64_t g = 0; g < layer.groups; ++g) {
+      for (std::int64_t fb = 0; fb < fb_count; ++fb) {
+        const std::int64_t f0 = fb * opts_.filters;
+        const std::int64_t filters_used =
+            std::min<std::int64_t>(opts_.filters, cog - f0);
+        for (std::int64_t window = 0; window < windows; ++window) {
+          for (auto& ip : ips) ip.begin_output();
+          for (std::int64_t base = 0; base < inner; base += lanes) {
+            // One cycle: lanes activations broadcast to all IP units.
+            const std::int64_t n = std::min<std::int64_t>(lanes, inner - base);
+            for (std::int64_t l = 0; l < n; ++l) {
+              acts[static_cast<std::size_t>(l)] =
+                  window_value(layer, input, g, window, base + l);
+            }
+            std::fill(acts.begin() + static_cast<std::ptrdiff_t>(n), acts.end(), 0);
+            for (std::int64_t f = 0; f < filters_used; ++f) {
+              const std::int64_t co = g * cog + f0 + f;
+              for (std::int64_t l = 0; l < n; ++l) {
+                wvals[static_cast<std::size_t>(l)] =
+                    weights.flat(co * inner + base + l);
+              }
+              std::fill(wvals.begin() + static_cast<std::ptrdiff_t>(n), wvals.end(), 0);
+              ips[static_cast<std::size_t>(f)].cycle(acts, wvals);
+            }
+            ++run.cycles;
           }
-          std::fill(acts.begin() + static_cast<std::ptrdiff_t>(n), acts.end(), 0);
           for (std::int64_t f = 0; f < filters_used; ++f) {
             const std::int64_t co = g * cog + f0 + f;
-            for (std::int64_t l = 0; l < n; ++l) {
-              wvals[static_cast<std::size_t>(l)] =
-                  weights.flat(co * inner + base + l);
-            }
-            std::fill(wvals.begin() + static_cast<std::ptrdiff_t>(n), wvals.end(), 0);
-            ips[static_cast<std::size_t>(f)].cycle(acts, wvals);
+            run.wide.at3(co, window / layer.out.w, window % layer.out.w) =
+                ips[static_cast<std::size_t>(f)].output();
           }
-          ++run.cycles;
-        }
-        for (std::int64_t f = 0; f < filters_used; ++f) {
-          const std::int64_t co = g * cog + f0 + f;
-          run.wide.at3(co, window / layer.out.w, window % layer.out.w) =
-              ips[static_cast<std::size_t>(f)].output();
         }
       }
     }
@@ -93,36 +123,45 @@ DpnnFunctionalRun FunctionalDpnnEngine::run_fc(const nn::Layer& layer,
 
   const int lanes = opts_.act_lanes;
   const std::int64_t ci = layer.in.elements();
-  std::vector<arch::IpUnit> ips(static_cast<std::size_t>(opts_.filters),
-                                arch::IpUnit(lanes));
-  std::vector<Value> acts(static_cast<std::size_t>(lanes));
-  std::vector<Value> wvals(static_cast<std::size_t>(lanes));
-
   const std::int64_t fb_count = ceil_div(static_cast<std::int64_t>(layer.out.c),
                                          opts_.filters);
-  for (std::int64_t fb = 0; fb < fb_count; ++fb) {
-    const std::int64_t f0 = fb * opts_.filters;
-    const std::int64_t filters_used =
-        std::min<std::int64_t>(opts_.filters, layer.out.c - f0);
-    for (auto& ip : ips) ip.begin_output();
-    for (std::int64_t base = 0; base < ci; base += lanes) {
-      const std::int64_t n = std::min<std::int64_t>(lanes, ci - base);
-      for (std::int64_t l = 0; l < n; ++l) {
-        acts[static_cast<std::size_t>(l)] = input.flat(base + l);
-      }
-      std::fill(acts.begin() + static_cast<std::ptrdiff_t>(n), acts.end(), 0);
-      for (std::int64_t f = 0; f < filters_used; ++f) {
+  const std::int64_t ic_count = ceil_div(ci, static_cast<std::int64_t>(lanes));
+
+  if (use_bitslice_) {
+    BitsliceEngine engine(dpnn_slice_options(opts_));
+    engine.run_fc(layer, input, weights, kBasePrecision, run.wide);
+    run.cycles = static_cast<std::uint64_t>(fb_count) *
+                 static_cast<std::uint64_t>(ic_count);
+  } else {
+    std::vector<arch::IpUnit> ips(static_cast<std::size_t>(opts_.filters),
+                                  arch::IpUnit(lanes));
+    std::vector<Value> acts(static_cast<std::size_t>(lanes));
+    std::vector<Value> wvals(static_cast<std::size_t>(lanes));
+
+    for (std::int64_t fb = 0; fb < fb_count; ++fb) {
+      const std::int64_t f0 = fb * opts_.filters;
+      const std::int64_t filters_used =
+          std::min<std::int64_t>(opts_.filters, layer.out.c - f0);
+      for (auto& ip : ips) ip.begin_output();
+      for (std::int64_t base = 0; base < ci; base += lanes) {
+        const std::int64_t n = std::min<std::int64_t>(lanes, ci - base);
         for (std::int64_t l = 0; l < n; ++l) {
-          wvals[static_cast<std::size_t>(l)] =
-              weights.flat((f0 + f) * ci + base + l);
+          acts[static_cast<std::size_t>(l)] = input.flat(base + l);
         }
-        std::fill(wvals.begin() + static_cast<std::ptrdiff_t>(n), wvals.end(), 0);
-        ips[static_cast<std::size_t>(f)].cycle(acts, wvals);
+        std::fill(acts.begin() + static_cast<std::ptrdiff_t>(n), acts.end(), 0);
+        for (std::int64_t f = 0; f < filters_used; ++f) {
+          for (std::int64_t l = 0; l < n; ++l) {
+            wvals[static_cast<std::size_t>(l)] =
+                weights.flat((f0 + f) * ci + base + l);
+          }
+          std::fill(wvals.begin() + static_cast<std::ptrdiff_t>(n), wvals.end(), 0);
+          ips[static_cast<std::size_t>(f)].cycle(acts, wvals);
+        }
+        ++run.cycles;
       }
-      ++run.cycles;
-    }
-    for (std::int64_t f = 0; f < filters_used; ++f) {
-      run.wide.set_flat(f0 + f, ips[static_cast<std::size_t>(f)].output());
+      for (std::int64_t f = 0; f < filters_used; ++f) {
+        run.wide.set_flat(f0 + f, ips[static_cast<std::size_t>(f)].output());
+      }
     }
   }
 

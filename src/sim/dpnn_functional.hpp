@@ -1,8 +1,14 @@
 // Functional DPNN engine: the bit-parallel twin of FunctionalLoomEngine.
-// Drives the IP units (16 MACs + adder tree per filter) over real layers,
+// Models the IP units (16 MACs + adder tree per filter) over real layers,
 // producing exact outputs and the wall-clock cycles of the baseline's
 // window-sequential schedule — the ground truth the DPNN cycle model is
 // cross-validated against.
+//
+// Values are computed by the bit-sliced engine at full signed 16-bit
+// precision for both operands (bit-identical to driving arch::IpUnit cycle
+// by cycle); cycle counts follow the exact chunk schedule the scalar loop
+// walks. Set DpnnFunctionalOptions::force_scalar or LOOM_FUNCTIONAL_SCALAR
+// to drive the scalar IP units instead.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,10 @@ struct DpnnFunctionalOptions {
   int act_lanes = 16;
   int filters = 8;
   bool relu = true;
+  /// Worker threads for the bit-sliced backend (0 = all, 1 = serial).
+  int jobs = 0;
+  /// Force the scalar arch::IpUnit oracle (also: LOOM_FUNCTIONAL_SCALAR=1).
+  bool force_scalar = false;
 };
 
 struct DpnnFunctionalRun {
@@ -49,6 +59,10 @@ class FunctionalDpnnEngine {
 
  private:
   DpnnFunctionalOptions opts_;
+  /// Decided at construction, like FunctionalLoomEngine: force_scalar,
+  /// the LOOM_FUNCTIONAL_SCALAR environment hatch, or an unpackable
+  /// configuration select the scalar IpUnit oracle.
+  bool use_bitslice_ = false;
 };
 
 }  // namespace loom::sim

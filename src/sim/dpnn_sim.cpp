@@ -9,7 +9,7 @@ namespace loom::sim {
 
 namespace {
 /// Multiplier + adder-tree pipeline fill charged once per layer.
-constexpr std::uint64_t kPipelineFill = 6;
+constexpr std::uint64_t kDpnnPipelineFill = 6;
 }  // namespace
 
 DpnnSimulator::DpnnSimulator(const arch::DpnnConfig& cfg, const SimOptions& opts)
@@ -67,7 +67,7 @@ LayerResult DpnnSimulator::simulate_layer(LayerWorkload& lw,
     r.activity.abin_write_bits = am_fetch;
   }
 
-  cycles += kPipelineFill;
+  cycles += kDpnnPipelineFill;
   r.compute_cycles = cycles;
   r.activity.mac_ops = static_cast<std::uint64_t>(r.macs);
   r.utilization =

@@ -1,48 +1,53 @@
 #include "sim/functional.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 
 #include "arch/tile.hpp"
 #include "common/error.hpp"
+#include "nn/im2col.hpp"
+#include "sim/loom_sim.hpp"
 
 namespace loom::sim {
 
 namespace {
 
 /// Gather the window values of one (group, window) at inner positions
-/// [base, base+lanes) with zero padding, matching the im2col order the
-/// cycle model uses.
-std::vector<Value> gather_window_chunk(const nn::Layer& layer,
-                                       const nn::Tensor& input, std::int64_t g,
-                                       std::int64_t window, std::int64_t base,
-                                       int lanes) {
-  std::vector<Value> out;
-  out.reserve(static_cast<std::size_t>(lanes));
-  const std::int64_t kh = layer.kernel_h;
-  const std::int64_t kw = layer.kernel_w;
-  const std::int64_t inner = layer.inner_length();
-  const std::int64_t oy = window / layer.out.w;
-  const std::int64_t ox = window % layer.out.w;
-  for (std::int64_t f = base; f < std::min<std::int64_t>(base + lanes, inner); ++f) {
-    const std::int64_t ci = f / (kh * kw);
-    const std::int64_t rem = f % (kh * kw);
-    const std::int64_t iy = oy * layer.stride + rem / kw - layer.pad;
-    const std::int64_t ix = ox * layer.stride + rem % kw - layer.pad;
-    if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) {
-      out.push_back(0);
-    } else {
-      out.push_back(input.at3(g * layer.group_in_channels() + ci, iy, ix));
-    }
+/// [base, base+lanes) with zero padding into `out`, matching the im2col
+/// order the cycle model uses. Returns the number of values written.
+std::int64_t gather_window_chunk(const nn::Layer& layer,
+                                 const nn::Tensor& input, std::int64_t g,
+                                 std::int64_t window, std::int64_t base,
+                                 int lanes, Value* out) {
+  const std::int64_t end =
+      std::min<std::int64_t>(base + lanes, layer.inner_length());
+  for (std::int64_t f = base; f < end; ++f) {
+    const std::int64_t idx = nn::im2col_input_index(layer, g, window, f);
+    out[f - base] = idx < 0 ? Value{0} : input.flat(idx);
   }
-  return out;
+  return end - base;
 }
 
 }  // namespace
+
+bool functional_scalar_env() {
+  const char* v = std::getenv("LOOM_FUNCTIONAL_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
 
 FunctionalLoomEngine::FunctionalLoomEngine(FunctionalOptions opts)
     : opts_(opts), dispatcher_(opts.lanes) {
   LOOM_EXPECTS(opts.rows >= 1 && opts.cols >= 1);
   LOOM_EXPECTS(opts.lanes >= 1 && opts.lanes <= 32);
+  const BitsliceEngine::Options bs{.rows = opts_.rows,
+                                   .cols = opts_.cols,
+                                   .lanes = opts_.lanes,
+                                   .jobs = opts_.jobs};
+  if (!opts_.force_scalar && !functional_scalar_env() &&
+      BitsliceEngine::supports(bs)) {
+    bitslice_.emplace(bs);
+  }
 }
 
 std::uint64_t FunctionalLoomEngine::run_conv_block(
@@ -67,30 +72,33 @@ std::uint64_t FunctionalLoomEngine::run_conv_block(
 
   std::uint64_t block_cycles = 0;
   const std::int64_t ic_count = ceil_div(inner, opts_.lanes);
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
   for (std::int64_t ic = 0; ic < ic_count; ++ic) {
     // Dispatcher: serialize the activation group (with dynamic detection)
-    // and the weight rows for this chunk.
-    std::vector<std::vector<Value>> act_cols;
+    // and the weight rows for this chunk, reusing the engine scratch.
+    act_spans_.clear();
+    std::int64_t n = 0;
     for (std::int64_t c = 0; c < cols_used; ++c) {
-      act_cols.push_back(gather_window_chunk(layer, input, g, col0 + c,
-                                             ic * opts_.lanes, opts_.lanes));
+      Value* dst = act_buf_.data() + static_cast<std::size_t>(c) * lanes;
+      n = gather_window_chunk(layer, input, g, col0 + c, ic * opts_.lanes,
+                              opts_.lanes, dst);
+      act_spans_.emplace_back(dst, static_cast<std::size_t>(n));
     }
-    const arch::ActivationStream acts = dispatcher_.stream_activations(
-        act_cols, layer.act_precision, opts_.dynamic_act_precision);
+    dispatcher_.stream_activations(act_spans_, layer.act_precision,
+                                   opts_.dynamic_act_precision, act_stream_);
+    const arch::ActivationStream& acts = act_stream_;
 
-    std::vector<std::vector<Value>> weight_rows;
+    weight_spans_.clear();
     for (std::int64_t r = 0; r < rows_used; ++r) {
-      std::vector<Value> row;
+      Value* dst = weight_buf_.data() + static_cast<std::size_t>(r) * lanes;
       const std::int64_t co = g * cog + row0 + r;
       const std::int64_t base = co * inner + ic * opts_.lanes;
-      for (std::int64_t l = 0;
-           l < std::min<std::int64_t>(opts_.lanes, inner - ic * opts_.lanes); ++l) {
-        row.push_back(weights.flat(base + l));
-      }
-      weight_rows.push_back(std::move(row));
+      for (std::int64_t l = 0; l < n; ++l) dst[l] = weights.flat(base + l);
+      weight_spans_.emplace_back(dst, static_cast<std::size_t>(n));
     }
-    const arch::WeightStream wbits =
-        dispatcher_.stream_weights(weight_rows, layer.weight_precision);
+    dispatcher_.stream_weights(weight_spans_, layer.weight_precision,
+                               weight_stream_);
+    const arch::WeightStream& wbits = weight_stream_;
 
     // Drive the grid: for each weight-bit pass, all SIPs in a row load the
     // same WR word, then the activation bits stream MSB-first.
@@ -142,14 +150,33 @@ FunctionalLayerRun FunctionalLoomEngine::run_conv(const nn::Layer& layer,
 
   double streamed_pa = 0.0;
   std::int64_t chunks = 0;
-  const std::int64_t windows = layer.windows();
-  for (std::int64_t g = 0; g < layer.groups; ++g) {
+  if (bitslice_) {
+    const BitsliceEngine::SliceSpec spec{
+        .act_precision = layer.act_precision,
+        .weight_precision = layer.weight_precision,
+        .act_signed = false,
+        .dynamic = opts_.dynamic_act_precision};
+    const BitsliceEngine::ConvStats st =
+        bitslice_->run_conv(layer, input, weights, spec, run.wide);
+    run.cycles = st.cycles;
+    streamed_pa = st.streamed_pa;
+    chunks = st.chunks;
+    dispatcher_.note_streamed(st.act_bits_streamed, st.weight_bits_streamed,
+                              st.detect_invocations, st.detect_values);
+  } else {
+    act_buf_.resize(static_cast<std::size_t>(opts_.cols) *
+                    static_cast<std::size_t>(opts_.lanes));
+    weight_buf_.resize(static_cast<std::size_t>(opts_.rows) *
+                       static_cast<std::size_t>(opts_.lanes));
+    const std::int64_t windows = layer.windows();
     const std::int64_t fb_count = ceil_div(layer.group_out_channels(), opts_.rows);
     const std::int64_t wb_count = ceil_div(windows, opts_.cols);
-    for (std::int64_t fb = 0; fb < fb_count; ++fb) {
-      for (std::int64_t wb = 0; wb < wb_count; ++wb) {
-        run.cycles += run_conv_block(layer, input, weights, g, fb, wb, run.wide,
-                                     streamed_pa, chunks);
+    for (std::int64_t g = 0; g < layer.groups; ++g) {
+      for (std::int64_t fb = 0; fb < fb_count; ++fb) {
+        for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+          run.cycles += run_conv_block(layer, input, weights, g, fb, wb,
+                                       run.wide, streamed_pa, chunks);
+        }
       }
     }
   }
@@ -172,38 +199,42 @@ FunctionalLayerRun FunctionalLoomEngine::run_fc(const nn::Layer& layer,
   run.wide = nn::WideTensor(nn::Shape{layer.out.c, 1, 1});
 
   // FCLs stream the full 16 activation bits; each output maps to one SIP
-  // whose OR accumulates over the input chunks. Wall-clock cycles follow
-  // the column-staggered model: rounds x 16 x Pw for each block of
-  // rows x cols concurrent outputs.
+  // whose OR accumulates over the input chunks.
   const std::int64_t ci = layer.in.elements();
-  const std::int64_t concurrent =
-      static_cast<std::int64_t>(opts_.rows) * opts_.cols;
-  const arch::SipConfig sip_cfg{opts_.lanes, /*act_signed=*/true,
-                                /*weight_signed=*/true};
-  for (std::int64_t co = 0; co < layer.out.c; ++co) {
-    arch::Sip sip(sip_cfg);
-    sip.begin_output();
-    Wide acc = 0;
-    for (std::int64_t base = 0; base < ci; base += opts_.lanes) {
-      const std::int64_t n = std::min<std::int64_t>(opts_.lanes, ci - base);
-      std::vector<Value> a(static_cast<std::size_t>(n));
-      std::vector<Value> w(static_cast<std::size_t>(n));
-      for (std::int64_t i = 0; i < n; ++i) {
-        a[static_cast<std::size_t>(i)] = input.flat(base + i);
-        w[static_cast<std::size_t>(i)] = weights.flat(co * ci + base + i);
+  if (bitslice_) {
+    bitslice_->run_fc(layer, input, weights, layer.weight_precision, run.wide);
+  } else {
+    const arch::SipConfig sip_cfg{opts_.lanes, /*act_signed=*/true,
+                                  /*weight_signed=*/true};
+    std::vector<Value> a(static_cast<std::size_t>(opts_.lanes));
+    std::vector<Value> w(static_cast<std::size_t>(opts_.lanes));
+    for (std::int64_t co = 0; co < layer.out.c; ++co) {
+      Wide acc = 0;
+      for (std::int64_t base = 0; base < ci; base += opts_.lanes) {
+        const std::int64_t n = std::min<std::int64_t>(opts_.lanes, ci - base);
+        for (std::int64_t i = 0; i < n; ++i) {
+          a[static_cast<std::size_t>(i)] = input.flat(base + i);
+          w[static_cast<std::size_t>(i)] = weights.flat(co * ci + base + i);
+        }
+        arch::Sip chunk_sip(sip_cfg);
+        acc += arch::sip_inner_product(
+            chunk_sip, std::span<const Value>(a.data(), static_cast<std::size_t>(n)),
+            std::span<const Value>(w.data(), static_cast<std::size_t>(n)),
+            kBasePrecision, layer.weight_precision);
       }
-      arch::Sip chunk_sip(sip_cfg);
-      acc += arch::sip_inner_product(chunk_sip, a, w, kBasePrecision,
-                                     layer.weight_precision);
+      run.wide.set_flat(co, acc);
     }
-    run.wide.set_flat(co, acc);
   }
-  const std::int64_t rounds = ceil_div(ci, static_cast<std::int64_t>(opts_.lanes));
-  const std::int64_t blocks = ceil_div(static_cast<std::int64_t>(layer.out.c),
-                                       concurrent);
-  run.cycles = static_cast<std::uint64_t>(blocks) *
-               static_cast<std::uint64_t>(rounds) * 16u *
-               static_cast<std::uint64_t>(layer.weight_precision);
+
+  // Wall-clock cycles: the same cascade-aware model as the analytic
+  // LoomSimulator::simulate_fc — best `ways` slicing plus the cols-1
+  // column-stagger initiation — excluding the analytic kPipelineFill.
+  const FcCascadePlan plan = plan_fc_cascade(
+      opts_.rows, opts_.cols, opts_.lanes, layer.out.c, ci,
+      static_cast<double>(layer.weight_precision),
+      static_cast<double>(kBasePrecision), opts_.cascading);
+  run.cycles = static_cast<std::uint64_t>(
+      std::llround(plan.cycles + static_cast<double>(opts_.cols - 1)));
   run.mean_streamed_precision = kBasePrecision;
 
   run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);

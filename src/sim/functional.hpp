@@ -7,14 +7,25 @@
 // This is the ground-truth twin of the analytic cycle model in
 // loom_sim.cpp: tests assert that (a) the outputs equal the bit-parallel
 // golden reference through the whole network and (b) the cycle counts of
-// the two models agree. Full ImageNet-scale networks go through the
-// analytic model; this engine is for verification, the examples, and
-// datapath experiments (it is O(cycles x SIPs) in time).
+// the two models agree (the functional counts exclude the analytic model's
+// per-layer kPipelineFill constant).
+//
+// Two backends compute identical results:
+//  - the bit-sliced fast path (sim/bitslice_engine.hpp): 64 SIP columns per
+//    machine word, the default;
+//  - the scalar oracle: one arch::Sip per (row, column), driven bit by bit
+//    through the dispatcher. Selected by FunctionalOptions::force_scalar or
+//    the LOOM_FUNCTIONAL_SCALAR environment variable, and automatically for
+//    configurations the bit-sliced engine cannot pack (cols > 64).
+// Outputs, cycle counts, streamed-precision means and dispatcher/detector
+// statistics are byte-identical between the two (golden-pinned in
+// tests/test_bitslice_engine.cpp).
 //
 // Restriction: models the LM1b variant (one activation bit per cycle).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -23,6 +34,7 @@
 #include "nn/network.hpp"
 #include "nn/reference.hpp"
 #include "nn/tensor.hpp"
+#include "sim/bitslice_engine.hpp"
 
 namespace loom::sim {
 
@@ -32,6 +44,13 @@ struct FunctionalOptions {
   int lanes = 16;  ///< products per SIP per cycle
   bool dynamic_act_precision = true;
   bool relu = true;  ///< apply ReLU at requantization (hidden layers)
+  bool cascading = true;  ///< SIP daisy-chaining for FC layers (cycle model)
+  /// Worker threads for the bit-sliced backend's (group, slab) fan-out over
+  /// the shared pool; 0 = all hardware threads, 1 = serial. Results are
+  /// byte-identical for every value.
+  int jobs = 0;
+  /// Force the scalar arch::Sip oracle (also: LOOM_FUNCTIONAL_SCALAR=1).
+  bool force_scalar = false;
 };
 
 struct FunctionalLayerRun {
@@ -61,6 +80,9 @@ class FunctionalLoomEngine {
                                             int out_bits);
 
   /// Execute one fully-connected layer. `weights` is flat [Co][Ci].
+  /// Cycle count follows the same cascade-aware model as
+  /// LoomSimulator::simulate_fc (plan_fc_cascade + column stagger), minus
+  /// the analytic model's kPipelineFill constant.
   [[nodiscard]] FunctionalLayerRun run_fc(const nn::Layer& layer,
                                           const nn::Tensor& input,
                                           const nn::Tensor& weights,
@@ -78,10 +100,14 @@ class FunctionalLoomEngine {
     return dispatcher_;
   }
   [[nodiscard]] const FunctionalOptions& options() const noexcept { return opts_; }
+  /// True when layers run on the bit-sliced fast path (false = scalar
+  /// oracle, via force_scalar / LOOM_FUNCTIONAL_SCALAR / unpackable cols).
+  [[nodiscard]] bool bitsliced() const noexcept { return bitslice_.has_value(); }
 
  private:
-  /// Run one (filter-block, window-block) tile pass over all input chunks,
-  /// accumulating exact outputs in `wide` and cycles in the return value.
+  /// Scalar oracle: run one (filter-block, window-block) tile pass over all
+  /// input chunks, accumulating exact outputs in `wide` and cycles in the
+  /// return value.
   std::uint64_t run_conv_block(const nn::Layer& layer, const nn::Tensor& input,
                                const nn::Tensor& weights, std::int64_t group,
                                std::int64_t fb, std::int64_t wb,
@@ -90,6 +116,19 @@ class FunctionalLoomEngine {
 
   FunctionalOptions opts_;
   arch::Dispatcher dispatcher_;
+  std::optional<BitsliceEngine> bitslice_;
+
+  // Scalar-oracle scratch, reused across chunks so the inner loops do not
+  // allocate: gathered values, the span views the dispatcher consumes, and
+  // the serialized streams.
+  std::vector<Value> act_buf_, weight_buf_;
+  std::vector<std::span<const Value>> act_spans_, weight_spans_;
+  arch::ActivationStream act_stream_;
+  arch::WeightStream weight_stream_;
 };
+
+/// True when the process-wide LOOM_FUNCTIONAL_SCALAR escape hatch is set
+/// (any value other than empty or "0").
+[[nodiscard]] bool functional_scalar_env();
 
 }  // namespace loom::sim

@@ -8,10 +8,32 @@
 
 namespace loom::sim {
 
-namespace {
-/// Adder tree (4 levels) + AC1/AC2 stages charged once per layer.
-constexpr std::uint64_t kPipelineFill = 8;
-}  // namespace
+FcCascadePlan plan_fc_cascade(std::int64_t rows, std::int64_t cols,
+                              std::int64_t lanes, std::int64_t out_channels,
+                              std::int64_t in_elements,
+                              double weight_precision, double act_passes,
+                              bool cascading) {
+  const std::int64_t concurrent = rows * cols;
+  FcCascadePlan best;
+  const std::int64_t max_ways = cascading ? cols : 1;
+  for (std::int64_t ways = 1; ways <= max_ways; ways *= 2) {
+    const std::int64_t outputs_per_block = concurrent / ways;
+    if (outputs_per_block == 0) break;
+    const std::int64_t fb = ceil_div(out_channels, outputs_per_block);
+    const std::int64_t rounds = ceil_div(in_elements, lanes * ways);
+    const double cyc =
+        static_cast<double>(fb) *
+        (static_cast<double>(rounds) * act_passes * weight_precision +
+         static_cast<double>(ways - 1));
+    if (best.blocks == 0 || cyc < best.cycles) {
+      best.cycles = cyc;
+      best.ways = ways;
+      best.blocks = fb;
+      best.rounds = rounds;
+    }
+  }
+  return best;
+}
 
 LoomSimulator::LoomSimulator(const arch::LoomConfig& cfg, const SimOptions& opts)
     : cfg_(cfg), opts_(opts) {
@@ -190,25 +212,12 @@ LayerResult LoomSimulator::simulate_fc(LayerWorkload& lw) const {
   // Choose the cascade slicing that minimizes cycles (ways = 1 disables
   // cascading; larger ways split an output's inner dimension over adjacent
   // SIPs at a reduction cost of ways-1 cycles per block).
-  double best_cycles = 0.0;
-  std::int64_t best_ways = 1;
-  std::int64_t best_fb = 0, best_rounds = 0;
-  const int max_ways = cfg_.cascading ? cols : 1;
-  for (std::int64_t ways = 1; ways <= max_ways; ways *= 2) {
-    const std::int64_t outputs_per_block = concurrent / ways;
-    if (outputs_per_block == 0) break;
-    const std::int64_t fb = ceil_div(co, outputs_per_block);
-    const std::int64_t rounds = ceil_div(ci, static_cast<std::int64_t>(lanes) * ways);
-    const double cyc = static_cast<double>(fb) *
-                           (static_cast<double>(rounds) * act_passes * pw +
-                            static_cast<double>(ways - 1));
-    if (best_fb == 0 || cyc < best_cycles) {
-      best_cycles = cyc;
-      best_ways = ways;
-      best_fb = fb;
-      best_rounds = rounds;
-    }
-  }
+  const FcCascadePlan plan = plan_fc_cascade(rows, cols, lanes, co, ci, pw,
+                                             act_passes, cfg_.cascading);
+  const double best_cycles = plan.cycles;
+  const std::int64_t best_ways = plan.ways;
+  const std::int64_t best_fb = plan.blocks;
+  const std::int64_t best_rounds = plan.rounds;
 
   // Column-staggered weight loading: cols-1 cycles of initiation per layer
   // (§3.2 "after the first 15 cycles all SIPs are fully utilized").

@@ -15,9 +15,32 @@
 // outputs than SIPs (§3.2 "Processing Layers with Few Outputs").
 #pragma once
 
+#include <cstdint>
+
 #include "sim/simulator.hpp"
 
 namespace loom::sim {
+
+/// Cascade slicing of a fully-connected layer: the `ways`, block and round
+/// counts minimizing cycles when an output's inner dimension is split over
+/// `ways` adjacent SIPs at a reduction cost of ways-1 cycles per block
+/// (§3.2 "Processing Layers with Few Outputs"). Shared by the analytic
+/// model (LoomSimulator::simulate_fc) and the functional engine
+/// (FunctionalLoomEngine::run_fc) so their FC cycle counts cannot drift.
+struct FcCascadePlan {
+  std::int64_t ways = 1;
+  std::int64_t blocks = 0;   ///< output blocks (fb)
+  std::int64_t rounds = 0;   ///< input chunks per block at the chosen ways
+  double cycles = 0.0;       ///< blocks * (rounds * act_passes * pw + ways-1)
+};
+
+[[nodiscard]] FcCascadePlan plan_fc_cascade(std::int64_t rows,
+                                            std::int64_t cols,
+                                            std::int64_t lanes,
+                                            std::int64_t out_channels,
+                                            std::int64_t in_elements,
+                                            double weight_precision,
+                                            double act_passes, bool cascading);
 
 class LoomSimulator final : public Simulator {
  public:

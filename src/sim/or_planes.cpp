@@ -1,26 +1,12 @@
 #include "sim/or_planes.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/im2col.hpp"
 
 namespace loom::sim {
-
-namespace {
-
-/// Process-wide pool for plane builds. Shared by every layer so nested
-/// runner fan-outs (jobs=N) queue stripes instead of spawning thread storms.
-/// Build tasks never submit further work to this pool, so it cannot
-/// deadlock on itself.
-ThreadPool& plane_pool() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
-  return pool;
-}
-
-}  // namespace
 
 ActOrPlanes::ActOrPlanes(const nn::Layer& layer, int lanes)
     : in_h_(layer.in.h),
@@ -85,7 +71,7 @@ void ActOrPlanes::build(const nn::Tensor& input) {
   masks_.resize(static_cast<std::size_t>(rows_total * windows_));
   const Value* data = input.data().data();
 
-  ThreadPool& pool = plane_pool();
+  ThreadPool& pool = shared_pool();
   const std::size_t stripes =
       std::min<std::size_t>(pool.size(), static_cast<std::size_t>(rows_total));
   if (stripes <= 1) {

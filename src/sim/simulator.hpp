@@ -13,6 +13,12 @@
 
 namespace loom::sim {
 
+/// Adder tree (4 levels) + AC1/AC2 stages, charged once per layer by the
+/// bit-serial analytic models (Loom and Stripes; DPNN's shallower pipeline
+/// keeps its own constant). The functional engines report raw grid cycles
+/// without it (tests compare `functional + kPipelineFill == analytic`).
+inline constexpr std::uint64_t kPipelineFill = 8;
+
 struct SimOptions {
   /// false reproduces §4.3's setup (activations on chip, weights
   /// unconstrained); true adds the single-channel LPDDR4-4267 and AM/WM

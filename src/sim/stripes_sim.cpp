@@ -8,10 +8,6 @@
 
 namespace loom::sim {
 
-namespace {
-constexpr std::uint64_t kPipelineFill = 8;
-}  // namespace
-
 StripesSimulator::StripesSimulator(const arch::StripesConfig& cfg,
                                    const SimOptions& opts)
     : cfg_(cfg), opts_(opts) {
