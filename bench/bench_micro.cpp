@@ -313,6 +313,134 @@ void BM_FunctionalConvLayerThreaded(benchmark::State& state) {
 }
 BENCHMARK(BM_FunctionalConvLayerThreaded)->Unit(benchmark::kMillisecond);
 
+// ---- Batched serving throughput -------------------------------------------
+// Lane-packed multi-request execution vs one image at a time, in images/sec
+// (items_per_second). The FC-heavy case is the serving regime the batcher
+// targets: a lone request fills a handful of the 64 word lanes, so
+// cross-request packing is the whole win (>= 1.5x at batch 16 is asserted
+// by the baseline trajectory). The conv case is AlexNet-conv1 scale
+// (stride-4 11x11 over a small image), where windows nearly fill the slabs
+// already and batching only recovers the slab-tail waste.
+
+/// AlexNet-conv1-scale: 3ch 56x56, 24 filters 11x11 stride 4 -> 12x12
+/// windows (144 of 192 slab lanes filled solo; batches pack the tails).
+FunctionalBenchCase conv1_scale_case() {
+  nn::Network net("conv1-scale", nn::Shape3{3, 56, 56});
+  net.add_conv("c1", 24, 11, 4, 0).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "conv1-scale";
+  p.conv_act = {9};
+  p.conv_weight = 11;
+  quant::apply_profile(net, p);
+  nn::SyntheticSpec act{.precision = 9, .alpha = 3.0, .is_signed = false,
+                        .zero_fraction = 0.45};
+  nn::SyntheticSpec wsp{.precision = 11, .alpha = 2.0, .is_signed = true};
+  FunctionalBenchCase c{std::move(net), {}, {}};
+  c.input = nn::make_activation_tensor(c.net.layer(0).in, act, 1, 0);
+  c.weights = nn::make_weight_tensor(c.net.layer(0).weight_count(), wsp, 2, 1);
+  return c;
+}
+
+/// FC-heavy: a 256 -> 96 -> 48 -> 10 MLP tail (every layer leaves most of
+/// the 64 output lanes empty when run one request at a time).
+struct FcBenchCase {
+  nn::Network net;
+  std::vector<nn::Tensor> weights;
+  std::vector<nn::Tensor> inputs;
+};
+
+FcBenchCase fc_heavy_case(int batch) {
+  nn::Network net("fc-heavy", nn::Shape3{256, 1, 1});
+  net.add_fc("h1", 96);
+  net.add_fc("h2", 48);
+  net.add_fc("logits", 10);
+  quant::PrecisionProfile p;
+  p.network = "fc-heavy";
+  p.conv_weight = 8;
+  p.fc_weight = {8, 8, 8};
+  quant::apply_profile(net, p);
+  FcBenchCase c{std::move(net), {}, {}};
+  std::uint64_t stream = 0;
+  for (const auto& l : c.net.layers()) {
+    if (!l.has_weights()) continue;
+    nn::SyntheticSpec wsp{.precision = l.weight_precision, .alpha = 2.0,
+                          .is_signed = true};
+    c.weights.push_back(
+        nn::make_weight_tensor(l.weight_count(), wsp, 2, stream++));
+  }
+  nn::SyntheticSpec act{.precision = 16, .alpha = 3.0, .is_signed = true};
+  for (int r = 0; r < batch; ++r) {
+    c.inputs.push_back(
+        nn::make_activation_tensor(c.net.layer(0).in, act, 3,
+                                   static_cast<std::uint64_t>(r)));
+  }
+  return c;
+}
+
+constexpr int kServeConvBatch = 8;
+constexpr int kServeFcBatch = 16;
+
+void BM_ServeBatchedConv(benchmark::State& state) {
+  const FunctionalBenchCase base = conv1_scale_case();
+  std::vector<nn::Tensor> inputs;
+  nn::SyntheticSpec act{.precision = 9, .alpha = 3.0, .is_signed = false,
+                        .zero_fraction = 0.45};
+  for (int r = 0; r < kServeConvBatch; ++r) {
+    inputs.push_back(nn::make_activation_tensor(
+        base.net.layer(0).in, act, 1, static_cast<std::uint64_t>(r)));
+  }
+  const std::vector<nn::Tensor> weights{base.weights};
+  sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_network_batch(base.net, inputs, weights));
+  }
+  state.SetItemsProcessed(state.iterations() * kServeConvBatch);
+}
+BENCHMARK(BM_ServeBatchedConv)->Unit(benchmark::kMillisecond);
+
+void BM_ServeSequentialConv(benchmark::State& state) {
+  const FunctionalBenchCase base = conv1_scale_case();
+  std::vector<nn::Tensor> inputs;
+  nn::SyntheticSpec act{.precision = 9, .alpha = 3.0, .is_signed = false,
+                        .zero_fraction = 0.45};
+  for (int r = 0; r < kServeConvBatch; ++r) {
+    inputs.push_back(nn::make_activation_tensor(
+        base.net.layer(0).in, act, 1, static_cast<std::uint64_t>(r)));
+  }
+  const std::vector<nn::Tensor> weights{base.weights};
+  sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 1});
+  for (auto _ : state) {
+    for (const nn::Tensor& input : inputs) {
+      benchmark::DoNotOptimize(engine.run_network(base.net, input, weights));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeConvBatch);
+}
+BENCHMARK(BM_ServeSequentialConv)->Unit(benchmark::kMillisecond);
+
+void BM_ServeBatchedFc(benchmark::State& state) {
+  const FcBenchCase c = fc_heavy_case(kServeFcBatch);
+  sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_network_batch(c.net, c.inputs, c.weights));
+  }
+  state.SetItemsProcessed(state.iterations() * kServeFcBatch);
+}
+BENCHMARK(BM_ServeBatchedFc);
+
+void BM_ServeSequentialFc(benchmark::State& state) {
+  const FcBenchCase c = fc_heavy_case(kServeFcBatch);
+  sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 1});
+  for (auto _ : state) {
+    for (const nn::Tensor& input : c.inputs) {
+      benchmark::DoNotOptimize(engine.run_network(c.net, input, c.weights));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeFcBatch);
+}
+BENCHMARK(BM_ServeSequentialFc);
+
 void BM_BitsliceTranspose(benchmark::State& state) {
   // The 64x64 bit transpose that converts sliced accumulators back to
   // per-column integers (two per filter row per slab).

@@ -10,6 +10,10 @@ ThreadPool& shared_pool() {
   return pool;
 }
 
+std::size_t resolve_jobs(int jobs) {
+  return jobs <= 0 ? shared_pool().size() : static_cast<std::size_t>(jobs);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);

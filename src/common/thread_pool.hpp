@@ -70,4 +70,11 @@ class ThreadPool {
 /// freely.
 [[nodiscard]] ThreadPool& shared_pool();
 
+/// Resolve a user-facing `jobs` knob against the shared pool: values <= 0
+/// mean "one stripe per hardware thread" (the shared pool's size), anything
+/// else is taken literally. Shared by the bit-sliced engine, the OR-plane
+/// builder and the inference server so every subsystem reads the knob the
+/// same way.
+[[nodiscard]] std::size_t resolve_jobs(int jobs);
+
 }  // namespace loom

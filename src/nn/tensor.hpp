@@ -61,6 +61,10 @@ class Tensor {
   [[nodiscard]] int max_precision_signed() const noexcept;
   [[nodiscard]] int max_precision_unsigned() const noexcept;
 
+  /// Exact equality: same shape and byte-identical elements. The batched
+  /// execution paths are pinned against solo runs with this.
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
  private:
   [[nodiscard]] std::int64_t offset(std::span<const std::int64_t> idx) const;
 
@@ -82,6 +86,9 @@ class WideTensor {
   [[nodiscard]] Wide at3(std::int64_t c, std::int64_t h, std::int64_t w) const;
   [[nodiscard]] std::span<Wide> data() noexcept { return data_; }
   [[nodiscard]] std::span<const Wide> data() const noexcept { return data_; }
+
+  /// Exact equality: same shape and byte-identical accumulators.
+  friend bool operator==(const WideTensor&, const WideTensor&) = default;
 
  private:
   Shape shape_;

@@ -1,0 +1,212 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace loom::serve {
+
+InferenceServer::InferenceServer(const ModelRegistry& models, ServeOptions opts)
+    : models_(models), opts_(opts) {
+  LOOM_EXPECTS(opts_.max_batch >= 1);
+  LOOM_EXPECTS(opts_.queue_depth >= 1);
+  LOOM_EXPECTS(opts_.workers >= 1);
+  LOOM_EXPECTS(opts_.batch_deadline.count() >= 0);
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  try {
+    for (int i = 0; i < opts_.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    stop();
+    throw;
+  }
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+std::future<InferenceResult> InferenceServer::submit(const std::string& model,
+                                                     nn::Tensor input) {
+  return submit(models_.find(model), std::move(input));
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    std::shared_ptr<const Model> model, nn::Tensor input) {
+  LOOM_EXPECTS(model != nullptr);
+  if (input.elements() != model->input_shape().elements()) {
+    throw ConfigError("model '" + model->name + "' expects " +
+                      std::to_string(model->input_shape().elements()) +
+                      " input values, got " + std::to_string(input.elements()));
+  }
+  std::future<InferenceResult> fut;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Backpressure: block (never drop) until the bounded queue has room.
+    space_cv_.wait(lock, [&] {
+      return stopping_ || total_pending_ < opts_.queue_depth;
+    });
+    if (stopping_) {
+      throw ConfigError("inference server is stopping; request rejected");
+    }
+    Pending p;
+    p.model = std::move(model);
+    p.input = std::move(input);
+    p.enqueued = Clock::now();
+    p.sequence = next_sequence_++;
+    fut = p.promise.get_future();
+    queues_[p.model.get()].pending.push_back(std::move(p));
+    ++total_pending_;
+    ++stats_.submitted;
+    stats_.peak_queue_depth =
+        std::max<std::uint64_t>(stats_.peak_queue_depth, total_pending_);
+  }
+  // notify_all, not notify_one: a worker holding an underfull batch open in
+  // its deadline wait shares this CV, and its predicate stays false for
+  // requests aimed at *other* models — a single notification could be
+  // swallowed by it while an idle worker sleeps.
+  work_cv_.notify_all();
+  return fut;
+}
+
+void InferenceServer::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  std::call_once(join_once_, [this] {
+    for (std::thread& w : workers_) w.join();
+  });
+}
+
+ServerStats InferenceServer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+InferenceServer::ModelQueue* InferenceServer::oldest_queue() {
+  ModelQueue* best = nullptr;
+  std::uint64_t best_seq = 0;
+  for (auto& [model, q] : queues_) {
+    if (q.claimed || q.pending.empty()) continue;
+    const std::uint64_t seq = q.pending.front().sequence;
+    if (best == nullptr || seq < best_seq) {
+      best = &q;
+      best_seq = seq;
+    }
+  }
+  return best;
+}
+
+void InferenceServer::worker_loop() {
+  // One engine per worker: engines carry dispatcher statistics and scratch
+  // state, so they are confined to their thread; the bit-sliced fan-out
+  // inside a run still stripes over the shared pool.
+  sim::FunctionalLoomEngine engine(opts_.engine);
+  const auto max_batch = static_cast<std::size_t>(opts_.max_batch);
+
+  for (;;) {
+    std::vector<Pending> batch;
+    Clock::time_point popped;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Wake for work this worker can serve (claimed queues belong to the
+      // worker holding them open) or for the drained-shutdown exit.
+      work_cv_.wait(lock, [&] {
+        return oldest_queue() != nullptr ||
+               (stopping_ && total_pending_ == 0);
+      });
+      if (stopping_ && total_pending_ == 0) return;
+      ModelQueue* q = oldest_queue();
+      if (q == nullptr) continue;  // claimed remainder; its worker notifies
+
+      // Dynamic batching: hold the batch open for late arrivals until the
+      // head request's deadline, lane fill, or shutdown — whichever first.
+      // The claim keeps other workers off this queue (they serve other
+      // models meanwhile) and makes the map node ours to erase.
+      q->claimed = true;
+      if (opts_.batch_deadline.count() > 0 && !stopping_ &&
+          q->pending.size() < max_batch) {
+        const Clock::time_point deadline =
+            q->pending.front().enqueued + opts_.batch_deadline;
+        work_cv_.wait_until(lock, deadline, [&] {
+          return stopping_ || q->pending.size() >= max_batch;
+        });
+      }
+
+      const std::size_t n = std::min(q->pending.size(), max_batch);
+      const Model* key = q->pending.front().model.get();
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(q->pending.front()));
+        q->pending.pop_front();
+      }
+      total_pending_ -= n;
+      popped = Clock::now();
+      q->claimed = false;
+      if (q->pending.empty()) {
+        // Drop the node so ad-hoc (unregistered) models cannot grow the
+        // map without bound; safe — the claim kept every other worker out.
+        queues_.erase(key);
+      }
+    }
+    // Other workers may now serve this model's remainder (or observe the
+    // drained-shutdown state); producers may refill the freed queue slots.
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+
+    const auto n = batch.size();
+    std::vector<nn::Tensor> inputs;
+    inputs.reserve(n);
+    for (Pending& p : batch) inputs.push_back(std::move(p.input));
+    const Model& model = *batch.front().model;
+
+    const Clock::time_point t0 = Clock::now();
+    try {
+      sim::FunctionalBatchNetworkRun run =
+          engine.run_network_batch(model.net, inputs, model.weights);
+      const Clock::time_point t1 = Clock::now();
+
+      std::chrono::nanoseconds max_latency{0};
+      std::chrono::nanoseconds total_wait{0};
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::chrono::nanoseconds wait = popped - batch[i].enqueued;
+        max_latency = std::max(max_latency, wait + (t1 - t0));
+        total_wait += wait;
+      }
+      // Record stats *before* resolving the futures, so a caller that has
+      // joined on every future observes completed == submitted.
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stats_.completed += n;
+        ++stats_.batches;
+        stats_.peak_batch = std::max<std::uint64_t>(stats_.peak_batch, n);
+        stats_.total_queue_wait += total_wait;
+        stats_.total_run_time += t1 - t0;
+        stats_.max_latency = std::max(stats_.max_latency, max_latency);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        InferenceResult res;
+        res.output = std::move(run.outputs[i]);
+        res.batch_size = static_cast<int>(n);
+        res.batch_cycles = run.total_cycles;
+        res.queue_wait = popped - batch[i].enqueued;
+        res.run_time = t1 - t0;
+        batch[i].promise.set_value(std::move(res));
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stats_.failed += n;
+        ++stats_.batches;
+      }
+      for (Pending& p : batch) {
+        p.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+}  // namespace loom::serve

@@ -1,0 +1,164 @@
+// Batched inference serving over the bit-sliced functional engine.
+//
+// The Loom SIP grid amortizes bit-serial work across 64 concurrent windows
+// per machine word, but a single small image (or an FC tail, whose window
+// count is 1) leaves most of those lanes empty. The InferenceServer fills
+// them *across requests*: concurrent submissions for the same
+// (network, profile) pair coalesce into lane-packed batches that run
+// through FunctionalLoomEngine::run_network_batch, where the im2col window
+// ranges of different requests concatenate into the same 64-lane slabs and
+// each request's outputs demux back out.
+//
+// Request lifecycle:
+//   submit(model, input)                   -- blocks while the bounded queue
+//     |  is full (backpressure), then enqueues and returns a future
+//   dynamic batcher (worker thread)        -- picks the model queue with the
+//     |  oldest pending request, waits for lane fill up to `batch_deadline`
+//     |  or `max_batch`, then pops the batch
+//   engine run                             -- run_network_batch on the
+//     |  worker's engine; outputs byte-identical to solo runs (pinned by
+//     |  tests, not assumed)
+//   future resolves with InferenceResult   -- per-request output + latency
+//
+// Shutdown is drain-then-join: stop() (or the destructor) refuses new
+// submissions, workers finish every queued request, then exit. Submitters
+// blocked on a full queue at shutdown get a ConfigError instead of
+// deadlocking.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "serve/model_registry.hpp"
+#include "sim/functional.hpp"
+
+namespace loom::serve {
+
+struct ServeOptions {
+  /// Most requests coalesced into one engine run (per model).
+  int max_batch = 8;
+  /// How long the batcher holds an underfull batch open for late arrivals.
+  /// Zero flushes immediately (batches still form under bursty load).
+  std::chrono::microseconds batch_deadline{200};
+  /// Bound on requests pending across all models; submit() blocks (never
+  /// drops) when the queue is full.
+  std::size_t queue_depth = 64;
+  /// Executor threads, each with its own functional engine. The engines'
+  /// (group, slab) fan-out additionally uses the shared pool per
+  /// `engine.jobs`.
+  int workers = 1;
+  /// Per-worker functional engine configuration.
+  sim::FunctionalOptions engine;
+};
+
+/// What a resolved request future carries.
+struct InferenceResult {
+  nn::Tensor output;               ///< byte-identical to a solo run_network
+  int batch_size = 0;              ///< requests that shared the engine run
+  std::uint64_t batch_cycles = 0;  ///< modeled grid cycles of that run
+  std::chrono::nanoseconds queue_wait{0};  ///< submit -> batch formation
+  std::chrono::nanoseconds run_time{0};    ///< engine wall clock of the batch
+};
+
+/// Aggregate serving statistics (monotonic; snapshot under the server lock).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;    ///< futures resolved with an exception
+  std::uint64_t batches = 0;   ///< engine runs
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t peak_batch = 0;
+  std::chrono::nanoseconds total_queue_wait{0};  ///< over completed requests
+  std::chrono::nanoseconds total_run_time{0};    ///< over batches
+  std::chrono::nanoseconds max_latency{0};       ///< queue wait + run time
+
+  /// Mean requests per engine run — the lane-fill the batcher achieved.
+  [[nodiscard]] double mean_batch() const noexcept {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(completed + failed) /
+                     static_cast<double>(batches);
+  }
+};
+
+class InferenceServer {
+ public:
+  /// `models` must outlive the server. Worker threads start immediately.
+  explicit InferenceServer(const ModelRegistry& models, ServeOptions opts = {});
+
+  /// Drains and joins (stop()).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue one request for `model`. Blocks while the queue is full.
+  /// Throws ConfigError for unknown models or when the server is stopping.
+  [[nodiscard]] std::future<InferenceResult> submit(const std::string& model,
+                                                    nn::Tensor input);
+
+  /// Same, for a model handle obtained from the registry (skips the name
+  /// lookup; the handle does not need to be registered).
+  [[nodiscard]] std::future<InferenceResult> submit(
+      std::shared_ptr<const Model> model, nn::Tensor input);
+
+  /// Refuse new submissions, run every already-queued request to
+  /// completion, join the workers. Idempotent.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::shared_ptr<const Model> model;
+    nn::Tensor input;
+    std::promise<InferenceResult> promise;
+    Clock::time_point enqueued;
+    std::uint64_t sequence = 0;  ///< arrival order, for oldest-first pick
+  };
+
+  /// Per-model FIFO. Keyed by Model pointer identity — one registry entry,
+  /// one batching domain. `claimed` marks a queue some worker is forming a
+  /// batch from (possibly holding it open for its deadline): other workers
+  /// skip it and serve other models instead of camping on the same wait,
+  /// and nobody but the claimer may erase the map node.
+  struct ModelQueue {
+    std::deque<Pending> pending;
+    bool claimed = false;
+  };
+
+  void worker_loop();
+  /// The unclaimed queue whose head request arrived earliest (nullptr when
+  /// nothing is servable by this worker right now).
+  [[nodiscard]] ModelQueue* oldest_queue();
+
+  const ModelRegistry& models_;
+  ServeOptions opts_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< queues non-empty or stopping
+  std::condition_variable space_cv_;  ///< queue depth dropped below bound
+  std::unordered_map<const Model*, ModelQueue> queues_;
+  std::size_t total_pending_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  bool stopping_ = false;
+  ServerStats stats_;
+
+  std::once_flag join_once_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace loom::serve

@@ -363,10 +363,12 @@ void drain_all(const Accum& ac) {
 
 }  // namespace
 
-void BitsliceEngine::conv_slab(const nn::Layer& layer, const nn::Tensor& input,
+void BitsliceEngine::conv_slab(const nn::Layer& layer,
+                               std::span<const nn::Tensor* const> inputs,
                                const nn::Tensor& weights,
                                const SliceSpec& spec, std::int64_t g,
-                               std::int64_t slab, nn::WideTensor& wide,
+                               std::int64_t slab,
+                               std::span<nn::WideTensor* const> wides,
                                Scratch& scratch, ConvStats& stats) const {
   const int lanes = opts_.lanes;
   const int cols = opts_.cols;
@@ -375,8 +377,16 @@ void BitsliceEngine::conv_slab(const nn::Layer& layer, const nn::Tensor& input,
   const std::int64_t cog = layer.group_out_channels();
   const std::int64_t ic_count = ceil_div(inner, lanes);
   const std::int64_t fb_count = ceil_div(cog, opts_.rows);
+  // Batched runs concatenate every request's window range into one global
+  // axis: slab columns cover [w0, w0 + cu) of it, and a column's request is
+  // its global index / windows. Per-request segments are contiguous, so the
+  // inner loops below walk them segment-wise — with one request the single
+  // segment spans the whole slab and the walk is the pre-batch loop.
+  const std::int64_t total_windows =
+      windows * static_cast<std::int64_t>(inputs.size());
   const std::int64_t w0 = slab * slab_windows_;
-  const std::int64_t cu = std::min<std::int64_t>(slab_windows_, windows - w0);
+  const std::int64_t cu =
+      std::min<std::int64_t>(slab_windows_, total_windows - w0);
   const std::int64_t n_groups = ceil_div(cu, cols);
 
   const int profile = spec.act_precision;
@@ -410,26 +420,38 @@ void BitsliceEngine::conv_slab(const nn::Layer& layer, const nn::Tensor& input,
           (g * layer.group_in_channels() + ci) * layer.in.h;
       std::memset(planes, 0, sizeof planes);
       std::uint32_t lane_or = 0;
-      for (std::int64_t c = 0; c < cu; ++c) {
-        const std::int64_t window = w0 + c;
-        const std::int64_t iy =
-            (window / layer.out.w) * layer.stride + ky - layer.pad;
-        const std::int64_t ix =
-            (window % layer.out.w) * layer.stride + kx - layer.pad;
-        if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) continue;
-        const Value v = input.flat((c_base + iy) * layer.in.w + ix);
-        const auto raw = static_cast<std::uint32_t>(static_cast<std::uint16_t>(v));
-        // The OR detector inspects the raw value (it clamps to the profile
-        // *after* the leading-one detection, like the scalar dispatcher);
-        // the planes carry only the streamed bits.
-        group_or[c / cols] |= raw;
-        std::uint32_t bits = raw & prof_mask;
-        lane_or |= bits;
-        const std::uint64_t col_bit = std::uint64_t{1} << c;
-        while (bits != 0) {
-          planes[std::countr_zero(bits)] |= col_bit;
-          bits &= bits - 1;
+      for (std::int64_t c0 = 0; c0 < cu;) {
+        const std::int64_t gw = w0 + c0;
+        const nn::Tensor& input =
+            *inputs[static_cast<std::size_t>(gw / windows)];
+        const std::int64_t win0 = gw % windows;
+        const std::int64_t seg = std::min(cu - c0, windows - win0);
+        for (std::int64_t k = 0; k < seg; ++k) {
+          const std::int64_t window = win0 + k;
+          const std::int64_t c = c0 + k;
+          const std::int64_t iy =
+              (window / layer.out.w) * layer.stride + ky - layer.pad;
+          const std::int64_t ix =
+              (window % layer.out.w) * layer.stride + kx - layer.pad;
+          if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) {
+            continue;
+          }
+          const Value v = input.flat((c_base + iy) * layer.in.w + ix);
+          const auto raw =
+              static_cast<std::uint32_t>(static_cast<std::uint16_t>(v));
+          // The OR detector inspects the raw value (it clamps to the profile
+          // *after* the leading-one detection, like the scalar dispatcher);
+          // the planes carry only the streamed bits.
+          group_or[c / cols] |= raw;
+          std::uint32_t bits = raw & prof_mask;
+          lane_or |= bits;
+          const std::uint64_t col_bit = std::uint64_t{1} << c;
+          while (bits != 0) {
+            planes[std::countr_zero(bits)] |= col_bit;
+            bits &= bits - 1;
+          }
         }
+        c0 += seg;
       }
       while (lane_or != 0) {
         const int b = std::countr_zero(lane_or);
@@ -527,11 +549,18 @@ void BitsliceEngine::conv_slab(const nn::Layer& layer, const nn::Tensor& input,
       drain_all(ac);
       transpose64(scratch.pos);
       transpose64(scratch.neg);
-      for (std::int64_t c = 0; c < cu; ++c) {
-        const std::int64_t window = w0 + c;
-        wide.at3(co, window / layer.out.w, window % layer.out.w) =
-            static_cast<Wide>(scratch.pos[c]) -
-            static_cast<Wide>(scratch.neg[c]);
+      for (std::int64_t c0 = 0; c0 < cu;) {
+        const std::int64_t gw = w0 + c0;
+        nn::WideTensor& wide = *wides[static_cast<std::size_t>(gw / windows)];
+        const std::int64_t win0 = gw % windows;
+        const std::int64_t seg = std::min(cu - c0, windows - win0);
+        for (std::int64_t k = 0; k < seg; ++k) {
+          const std::int64_t window = win0 + k;
+          wide.at3(co, window / layer.out.w, window % layer.out.w) =
+              static_cast<Wide>(scratch.pos[c0 + k]) -
+              static_cast<Wide>(scratch.neg[c0 + k]);
+        }
+        c0 += seg;
       }
     }
   }
@@ -542,7 +571,17 @@ BitsliceEngine::ConvStats BitsliceEngine::run_conv(const nn::Layer& layer,
                                                    const nn::Tensor& weights,
                                                    const SliceSpec& spec,
                                                    nn::WideTensor& wide) {
+  const nn::Tensor* const inputs[] = {&input};
+  nn::WideTensor* const wides[] = {&wide};
+  return run_conv_batch(layer, inputs, weights, spec, wides);
+}
+
+BitsliceEngine::ConvStats BitsliceEngine::run_conv_batch(
+    const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+    const nn::Tensor& weights, const SliceSpec& spec,
+    std::span<nn::WideTensor* const> wides) {
   LOOM_EXPECTS(layer.kind == nn::LayerKind::kConv);
+  LOOM_EXPECTS(!inputs.empty() && inputs.size() == wides.size());
   LOOM_EXPECTS(spec.act_precision >= 1 && spec.act_precision <= kBasePrecision);
   LOOM_EXPECTS(spec.weight_precision >= 1 &&
                spec.weight_precision <= kBasePrecision);
@@ -553,11 +592,11 @@ BitsliceEngine::ConvStats BitsliceEngine::run_conv(const nn::Layer& layer,
   // Every carry must stay inside the 64-word slice (see kMaxInner).
   LOOM_EXPECTS(layer.inner_length() < kMaxInner);
 
-  const std::int64_t slab_count = ceil_div(layer.windows(), slab_windows_);
+  const std::int64_t total_windows =
+      layer.windows() * static_cast<std::int64_t>(inputs.size());
+  const std::int64_t slab_count = ceil_div(total_windows, slab_windows_);
   const std::int64_t tasks = layer.groups * slab_count;
-  const std::size_t jobs = opts_.jobs <= 0
-                               ? shared_pool().size()
-                               : static_cast<std::size_t>(opts_.jobs);
+  const std::size_t jobs = resolve_jobs(opts_.jobs);
   const std::size_t stripes =
       std::min<std::size_t>(jobs, static_cast<std::size_t>(tasks));
 
@@ -568,8 +607,8 @@ BitsliceEngine::ConvStats BitsliceEngine::run_conv(const nn::Layer& layer,
     const auto hi = static_cast<std::int64_t>(
         (static_cast<std::size_t>(tasks) * (s + 1)) / stripes);
     for (std::int64_t t = lo; t < hi; ++t) {
-      conv_slab(layer, input, weights, spec, t / slab_count, t % slab_count,
-                wide, scratch, stripe_stats[s]);
+      conv_slab(layer, inputs, weights, spec, t / slab_count, t % slab_count,
+                wides, scratch, stripe_stats[s]);
     }
   };
 
@@ -669,6 +708,150 @@ void BitsliceEngine::fc_slab(const nn::Layer& layer, const nn::Tensor& input,
   }
 }
 
+void BitsliceEngine::fc_batch_planes(const nn::Layer& layer,
+                                     std::span<const nn::Tensor* const> inputs,
+                                     std::int64_t slab,
+                                     Scratch& scratch) const {
+  const std::int64_t ci = layer.in.elements();
+  const std::int64_t r0 = slab * 64;
+  const std::int64_t ru =
+      std::min<std::int64_t>(64, static_cast<std::int64_t>(inputs.size()) - r0);
+
+  // Transpose the slab's activations to dense bit-plane lists — bit r of a
+  // plane word is that activation bit of request r0 + r. Built once per
+  // slab; every output neuron's weight walk reads them concurrently.
+  scratch.plane_words.clear();
+  scratch.plane_bits.clear();
+  scratch.plane_begin.assign(static_cast<std::size_t>(ci) + 1, 0);
+  std::uint64_t planes[kBasePrecision];
+  for (std::int64_t flat = 0; flat < ci; ++flat) {
+    std::memset(planes, 0, sizeof planes);
+    std::uint32_t lane_or = 0;
+    for (std::int64_t r = 0; r < ru; ++r) {
+      const Value v = inputs[static_cast<std::size_t>(r0 + r)]->flat(flat);
+      std::uint32_t bits =
+          static_cast<std::uint32_t>(static_cast<std::uint16_t>(v));
+      lane_or |= bits;
+      const std::uint64_t col_bit = std::uint64_t{1} << r;
+      while (bits != 0) {
+        planes[std::countr_zero(bits)] |= col_bit;
+        bits &= bits - 1;
+      }
+    }
+    while (lane_or != 0) {
+      const int b = std::countr_zero(lane_or);
+      lane_or &= lane_or - 1;
+      scratch.plane_words.push_back(planes[b]);
+      scratch.plane_bits.push_back(static_cast<std::uint8_t>(b));
+    }
+    scratch.plane_begin[static_cast<std::size_t>(flat) + 1] =
+        static_cast<std::int32_t>(scratch.plane_words.size());
+  }
+}
+
+void BitsliceEngine::fc_batch_neurons(const nn::Layer& layer,
+                                      const nn::Tensor& weights,
+                                      int weight_precision, std::int64_t slab,
+                                      std::span<nn::WideTensor* const> wides,
+                                      const Scratch& planes, Scratch& acc_s,
+                                      std::int64_t co_lo,
+                                      std::int64_t co_hi) const {
+  const std::int64_t ci = layer.in.elements();
+  const std::int64_t r0 = slab * 64;
+  const std::int64_t ru =
+      std::min<std::int64_t>(64, static_cast<std::int64_t>(wides.size()) - r0);
+  constexpr int kActNegPlane = kBasePrecision - 1;
+
+  // Per output neuron, one NAF sign-magnitude weight walk over the plane
+  // lists accumulates the whole batch at once. The signed 16-bit activation
+  // MSB plane flips the accumulator sign, commuting exactly with the SIP
+  // sign pass; pos - neg is the exact inner product per request. Neurons
+  // are independent, so ranges stripe freely with private arenas.
+  const Accum ac = make_accum(acc_s.arena, acc_s.arena_n, acc_s.pos, acc_s.neg);
+  const std::uint64_t* dw = planes.plane_words.data();
+  const std::uint8_t* dbit = planes.plane_bits.data();
+  const std::int32_t* dbegin = planes.plane_begin.data();
+  for (std::int64_t co = co_lo; co < co_hi; ++co) {
+    std::memset(acc_s.pos, 0, sizeof acc_s.pos);
+    std::memset(acc_s.neg, 0, sizeof acc_s.neg);
+    const std::int64_t wrow = co * ci;
+    for (std::int64_t flat = 0; flat < ci; ++flat) {
+      bool w_neg = false;
+      const std::uint32_t mag =
+          sign_magnitude(weights.flat(wrow + flat), weight_precision, &w_neg);
+      if (mag == 0) continue;
+      NafShifts sh;
+      naf_decode(mag, w_neg, &sh);
+      const std::int32_t e1 = dbegin[flat + 1];
+      for (std::int32_t e = dbegin[flat]; e < e1; ++e) {
+        const int b = dbit[e];
+        const std::uint64_t x = dw[e];
+        const int flip = b == kActNegPlane ? 1 << kSidxBit : 0;
+        for (int i = 0; i < sh.n; ++i) {
+          arena_add(ac, (sh.digit[i] + b) ^ flip, x);
+        }
+      }
+    }
+    drain_all(ac);
+    transpose64(acc_s.pos);
+    transpose64(acc_s.neg);
+    for (std::int64_t r = 0; r < ru; ++r) {
+      wides[static_cast<std::size_t>(r0 + r)]->set_flat(
+          co, static_cast<Wide>(acc_s.pos[r]) -
+                  static_cast<Wide>(acc_s.neg[r]));
+    }
+  }
+}
+
+void BitsliceEngine::run_fc_batch(const nn::Layer& layer,
+                                  std::span<const nn::Tensor* const> inputs,
+                                  const nn::Tensor& weights,
+                                  int weight_precision,
+                                  std::span<nn::WideTensor* const> wides) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kFullyConnected);
+  LOOM_EXPECTS(!inputs.empty() && inputs.size() == wides.size());
+  LOOM_EXPECTS(weight_precision >= 1 && weight_precision <= kBasePrecision);
+  LOOM_EXPECTS(layer.in.elements() < kMaxInner);
+
+  // Small batches fill too few request lanes for the packed layout to
+  // amortize its per-neuron weight walk — measured break-even on FC tails
+  // is ~8 requests — so they run the 64-outputs-per-word solo layout
+  // instead. Either way the accumulators are exact and byte-identical.
+  constexpr std::size_t kPackThreshold = 8;
+  if (inputs.size() < kPackThreshold) {
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+      run_fc(layer, *inputs[r], weights, weight_precision, *wides[r]);
+    }
+    return;
+  }
+
+  // A request-slab's plane lists build once, then the per-neuron walk —
+  // the dominant cost — stripes over the pool: neurons are independent, so
+  // any batch (not just > 64 requests) scales with jobs.
+  const auto batch = static_cast<std::int64_t>(inputs.size());
+  const std::int64_t slab_count = ceil_div(batch, std::int64_t{64});
+  const std::size_t stripes = std::min<std::size_t>(
+      resolve_jobs(opts_.jobs), static_cast<std::size_t>(layer.out.c));
+  Scratch planes;
+  std::vector<Scratch> scratches(stripes > 1 ? stripes : 1);
+  for (std::int64_t slab = 0; slab < slab_count; ++slab) {
+    fc_batch_planes(layer, inputs, slab, planes);
+    const auto run_stripe = [&](std::size_t s) {
+      const auto lo = static_cast<std::int64_t>(
+          (static_cast<std::size_t>(layer.out.c) * s) / stripes);
+      const auto hi = static_cast<std::int64_t>(
+          (static_cast<std::size_t>(layer.out.c) * (s + 1)) / stripes);
+      fc_batch_neurons(layer, weights, weight_precision, slab, wides, planes,
+                       scratches[s], lo, hi);
+    };
+    if (stripes <= 1) {
+      run_stripe(0);
+    } else {
+      shared_pool().parallel_for(stripes, run_stripe);
+    }
+  }
+}
+
 void BitsliceEngine::run_fc(const nn::Layer& layer, const nn::Tensor& input,
                             const nn::Tensor& weights, int weight_precision,
                             nn::WideTensor& wide) {
@@ -677,9 +860,7 @@ void BitsliceEngine::run_fc(const nn::Layer& layer, const nn::Tensor& input,
   LOOM_EXPECTS(layer.in.elements() < kMaxInner);
 
   const std::int64_t slab_count = ceil_div(layer.out.c, std::int64_t{64});
-  const std::size_t jobs = opts_.jobs <= 0
-                               ? shared_pool().size()
-                               : static_cast<std::size_t>(opts_.jobs);
+  const std::size_t jobs = resolve_jobs(opts_.jobs);
   const std::size_t stripes =
       std::min<std::size_t>(jobs, static_cast<std::size_t>(slab_count));
 

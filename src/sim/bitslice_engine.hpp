@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bitops.hpp"
@@ -94,11 +95,34 @@ class BitsliceEngine {
                      const nn::Tensor& weights, const SliceSpec& spec,
                      nn::WideTensor& wide);
 
+  /// Batched convolution: the window axes of all requests concatenate into
+  /// one global window range, so windows from different requests share the
+  /// same 64-column slabs (and dynamic-detection groups may span request
+  /// boundaries — the detected precision is an upper bound of every value
+  /// in the group, so the exact accumulators are unchanged). Each request's
+  /// outputs demux into its own `wides[r]` (preallocated, one per input).
+  /// With one request this is bit- and stats-identical to `run_conv`.
+  ConvStats run_conv_batch(const nn::Layer& layer,
+                           std::span<const nn::Tensor* const> inputs,
+                           const nn::Tensor& weights, const SliceSpec& spec,
+                           std::span<nn::WideTensor* const> wides);
+
   /// Execute one fully-connected layer (64 output neurons per word; signed
   /// 16-bit activations, `weight_precision` two's-complement weight planes).
   void run_fc(const nn::Layer& layer, const nn::Tensor& input,
               const nn::Tensor& weights, int weight_precision,
               nn::WideTensor& wide);
+
+  /// Batched fully-connected layer, request-packed: each 64-bit word holds
+  /// one activation bit of up to 64 *requests* (instead of 64 output
+  /// neurons), so the per-neuron weight NAF walk is shared by the whole
+  /// batch — the lane fill a single request cannot provide. Accumulators
+  /// are exact, so each `wides[r]` is byte-identical to a solo `run_fc`.
+  /// A single-request batch takes the `run_fc` path unchanged.
+  void run_fc_batch(const nn::Layer& layer,
+                    std::span<const nn::Tensor* const> inputs,
+                    const nn::Tensor& weights, int weight_precision,
+                    std::span<nn::WideTensor* const> wides);
 
   [[nodiscard]] const Options& options() const noexcept { return opts_; }
 
@@ -117,13 +141,27 @@ class BitsliceEngine {
     std::uint64_t neg[64];
   };
 
-  void conv_slab(const nn::Layer& layer, const nn::Tensor& input,
+  void conv_slab(const nn::Layer& layer,
+                 std::span<const nn::Tensor* const> inputs,
                  const nn::Tensor& weights, const SliceSpec& spec,
-                 std::int64_t g, std::int64_t slab, nn::WideTensor& wide,
-                 Scratch& scratch, ConvStats& stats) const;
+                 std::int64_t g, std::int64_t slab,
+                 std::span<nn::WideTensor* const> wides, Scratch& scratch,
+                 ConvStats& stats) const;
   void fc_slab(const nn::Layer& layer, const nn::Tensor& input,
                const nn::Tensor& weights, int weight_precision,
                std::int64_t slab, nn::WideTensor& wide, Scratch& scratch) const;
+  /// Request-packed FC, split so the per-neuron walk can stripe over the
+  /// pool: `fc_batch_planes` transposes one request-slab's activations into
+  /// `planes` (read-only afterwards), `fc_batch_neurons` accumulates output
+  /// neurons [co_lo, co_hi) against them with stripe-private arenas.
+  void fc_batch_planes(const nn::Layer& layer,
+                       std::span<const nn::Tensor* const> inputs,
+                       std::int64_t slab, Scratch& planes) const;
+  void fc_batch_neurons(const nn::Layer& layer, const nn::Tensor& weights,
+                        int weight_precision, std::int64_t slab,
+                        std::span<nn::WideTensor* const> wides,
+                        const Scratch& planes, Scratch& acc,
+                        std::int64_t co_lo, std::int64_t co_hi) const;
 
   Options opts_;
   std::int64_t slab_windows_;  ///< windows per 64-bit slab (multiple of cols)

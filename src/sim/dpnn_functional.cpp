@@ -27,6 +27,38 @@ BitsliceEngine::Options dpnn_slice_options(const DpnnFunctionalOptions& opts) {
                                  .jobs = opts.jobs};
 }
 
+/// Allocate one run per request (accumulators of `wide_shape`) and marshal
+/// the pointer views the bit-sliced engine consumes.
+std::vector<DpnnFunctionalRun> make_runs(
+    const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+    const nn::Shape& wide_shape, std::vector<const nn::Tensor*>& in_ptrs,
+    std::vector<nn::WideTensor*>& wide_ptrs) {
+  std::vector<DpnnFunctionalRun> runs;
+  runs.reserve(inputs.size());
+  in_ptrs.resize(inputs.size());
+  wide_ptrs.resize(inputs.size());
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    DpnnFunctionalRun run;
+    run.name = layer.name;
+    run.wide = nn::WideTensor(wide_shape);
+    runs.push_back(std::move(run));
+    in_ptrs[r] = &inputs[r];
+    wide_ptrs[r] = &runs[r].wide;
+  }
+  return runs;
+}
+
+/// Stamp the data-independent schedule cycles and requantize per request
+/// (shift choice per request — identical to solo runs).
+void finalize_runs(std::vector<DpnnFunctionalRun>& runs, std::uint64_t cycles,
+                   int out_bits, bool relu) {
+  for (DpnnFunctionalRun& run : runs) {
+    run.cycles = cycles;
+    run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);
+    run.output = nn::requantize(run.wide, run.requant_shift, out_bits, relu);
+  }
+}
+
 }  // namespace
 
 FunctionalDpnnEngine::FunctionalDpnnEngine(DpnnFunctionalOptions opts)
@@ -110,6 +142,81 @@ DpnnFunctionalRun FunctionalDpnnEngine::run_conv(const nn::Layer& layer,
   run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);
   run.output = nn::requantize(run.wide, run.requant_shift, out_bits, opts_.relu);
   return run;
+}
+
+std::vector<DpnnFunctionalRun> FunctionalDpnnEngine::run_conv_batch(
+    const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+    const nn::Tensor& weights, int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kConv);
+  LOOM_EXPECTS(!inputs.empty());
+  const std::size_t batch = inputs.size();
+  std::vector<DpnnFunctionalRun> runs;
+  runs.reserve(batch);
+
+  if (!use_bitslice_) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      runs.push_back(run_conv(layer, inputs[r], weights, out_bits));
+    }
+    return runs;
+  }
+
+  std::vector<const nn::Tensor*> in_ptrs;
+  std::vector<nn::WideTensor*> wide_ptrs;
+  runs = make_runs(layer, inputs,
+                   nn::Shape{layer.out.c, layer.out.h, layer.out.w}, in_ptrs,
+                   wide_ptrs);
+  BitsliceEngine engine(dpnn_slice_options(opts_));
+  const BitsliceEngine::SliceSpec spec{.act_precision = kBasePrecision,
+                                       .weight_precision = kBasePrecision,
+                                       .act_signed = true,
+                                       .dynamic = false};
+  (void)engine.run_conv_batch(layer, in_ptrs, weights, spec, wide_ptrs);
+
+  const std::int64_t fb_count =
+      ceil_div(layer.group_out_channels(), opts_.filters);
+  const std::int64_t ic_count =
+      ceil_div(layer.inner_length(), static_cast<std::int64_t>(opts_.act_lanes));
+  finalize_runs(runs,
+                static_cast<std::uint64_t>(layer.groups) *
+                    static_cast<std::uint64_t>(fb_count) *
+                    static_cast<std::uint64_t>(layer.windows()) *
+                    static_cast<std::uint64_t>(ic_count),
+                out_bits, opts_.relu);
+  return runs;
+}
+
+std::vector<DpnnFunctionalRun> FunctionalDpnnEngine::run_fc_batch(
+    const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+    const nn::Tensor& weights, int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kFullyConnected);
+  LOOM_EXPECTS(!inputs.empty());
+  const std::size_t batch = inputs.size();
+  std::vector<DpnnFunctionalRun> runs;
+  runs.reserve(batch);
+
+  if (!use_bitslice_) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      runs.push_back(run_fc(layer, inputs[r], weights, out_bits));
+    }
+    return runs;
+  }
+
+  std::vector<const nn::Tensor*> in_ptrs;
+  std::vector<nn::WideTensor*> wide_ptrs;
+  runs = make_runs(layer, inputs, nn::Shape{layer.out.c, 1, 1}, in_ptrs,
+                   wide_ptrs);
+  BitsliceEngine engine(dpnn_slice_options(opts_));
+  engine.run_fc_batch(layer, in_ptrs, weights, kBasePrecision, wide_ptrs);
+
+  const std::int64_t fb_count =
+      ceil_div(static_cast<std::int64_t>(layer.out.c), opts_.filters);
+  const std::int64_t ic_count = ceil_div(
+      layer.in.elements(), static_cast<std::int64_t>(opts_.act_lanes));
+  finalize_runs(runs,
+                static_cast<std::uint64_t>(fb_count) *
+                    static_cast<std::uint64_t>(ic_count),
+                out_bits, opts_.relu);
+  return runs;
 }
 
 DpnnFunctionalRun FunctionalDpnnEngine::run_fc(const nn::Layer& layer,

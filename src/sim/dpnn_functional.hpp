@@ -53,6 +53,18 @@ class FunctionalDpnnEngine {
                                          const nn::Tensor& weights,
                                          int out_bits);
 
+  /// Batched variants: one coalesced bit-sliced pass over N same-shape
+  /// requests (the scalar oracle falls back to N solo runs). Each returned
+  /// run is byte-identical to the corresponding solo run — the DPNN
+  /// baseline's window-sequential schedule is data-independent, so even the
+  /// per-request cycle counts match solo execution exactly.
+  [[nodiscard]] std::vector<DpnnFunctionalRun> run_conv_batch(
+      const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+      const nn::Tensor& weights, int out_bits);
+  [[nodiscard]] std::vector<DpnnFunctionalRun> run_fc_batch(
+      const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+      const nn::Tensor& weights, int out_bits);
+
   [[nodiscard]] const DpnnFunctionalOptions& options() const noexcept {
     return opts_;
   }

@@ -13,6 +13,20 @@ namespace loom::sim {
 
 namespace {
 
+/// Output precision of weighted layer `i`: the next conv consumer's profile
+/// Pa (an FC consumer, or no consumer, stores at base precision). Shared by
+/// the solo and batched network walks so the propagation rule cannot drift
+/// between them.
+int consumer_out_bits(const nn::Network& net, std::size_t i) {
+  for (std::size_t j = i + 1; j < net.size(); ++j) {
+    if (net.layer(j).kind == nn::LayerKind::kConv) {
+      return net.layer(j).act_precision;
+    }
+    if (net.layer(j).kind == nn::LayerKind::kFullyConnected) break;
+  }
+  return static_cast<int>(kBasePrecision);
+}
+
 /// Gather the window values of one (group, window) at inner positions
 /// [base, base+lanes) with zero padding into `out`, matching the im2col
 /// order the cycle model uses. Returns the number of values written.
@@ -27,6 +41,31 @@ std::int64_t gather_window_chunk(const nn::Layer& layer,
     out[f - base] = idx < 0 ? Value{0} : input.flat(idx);
   }
   return end - base;
+}
+
+/// Marshal a batch into the pointer views BitsliceEngine consumes.
+void batch_ptrs(std::span<const nn::Tensor> inputs,
+                std::vector<nn::WideTensor>& wides,
+                std::vector<const nn::Tensor*>& in_ptrs,
+                std::vector<nn::WideTensor*>& wide_ptrs) {
+  in_ptrs.resize(inputs.size());
+  wide_ptrs.resize(inputs.size());
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    in_ptrs[r] = &inputs[r];
+    wide_ptrs[r] = &wides[r];
+  }
+}
+
+/// Per-request requantization demux: each request picks its shift from its
+/// own accumulators, exactly as a solo run would.
+void requantize_batch(FunctionalBatchLayerRun& run, int out_bits, bool relu) {
+  run.outputs.reserve(run.wides.size());
+  run.requant_shifts.reserve(run.wides.size());
+  for (const nn::WideTensor& wide : run.wides) {
+    const int shift = nn::choose_requant_shift(wide, out_bits);
+    run.requant_shifts.push_back(shift);
+    run.outputs.push_back(nn::requantize(wide, shift, out_bits, relu));
+  }
 }
 
 }  // namespace
@@ -242,6 +281,137 @@ FunctionalLayerRun FunctionalLoomEngine::run_fc(const nn::Layer& layer,
   return run;
 }
 
+FunctionalBatchLayerRun FunctionalLoomEngine::run_conv_batch(
+    const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+    const nn::Tensor& weights, int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kConv);
+  LOOM_EXPECTS(!inputs.empty());
+  FunctionalBatchLayerRun run;
+  run.name = layer.name;
+  run.out_bits = out_bits;
+  const std::size_t batch = inputs.size();
+  run.wides.reserve(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    run.wides.emplace_back(nn::Shape{layer.out.c, layer.out.h, layer.out.w});
+  }
+
+  if (bitslice_) {
+    std::vector<const nn::Tensor*> in_ptrs;
+    std::vector<nn::WideTensor*> wide_ptrs;
+    batch_ptrs(inputs, run.wides, in_ptrs, wide_ptrs);
+    const BitsliceEngine::SliceSpec spec{
+        .act_precision = layer.act_precision,
+        .weight_precision = layer.weight_precision,
+        .act_signed = false,
+        .dynamic = opts_.dynamic_act_precision};
+    const BitsliceEngine::ConvStats st =
+        bitslice_->run_conv_batch(layer, in_ptrs, weights, spec, wide_ptrs);
+    run.cycles = st.cycles;
+    run.mean_streamed_precision =
+        st.chunks ? st.streamed_pa / static_cast<double>(st.chunks) : 0.0;
+    dispatcher_.note_streamed(st.act_bits_streamed, st.weight_bits_streamed,
+                              st.detect_invocations, st.detect_values);
+    requantize_batch(run, out_bits, opts_.relu);
+  } else {
+    // Scalar oracle: a batch *is* N solo runs — the semantics the lane-packed
+    // path is pinned against. Requests have identical chunk geometry, so the
+    // plain mean over requests equals the chunk-weighted mean. The solo runs
+    // already requantized; keep their shifts and outputs.
+    double mean_sum = 0.0;
+    for (std::size_t r = 0; r < batch; ++r) {
+      FunctionalLayerRun lr = run_conv(layer, inputs[r], weights, out_bits);
+      run.cycles += lr.cycles;
+      mean_sum += lr.mean_streamed_precision;
+      run.wides[r] = std::move(lr.wide);
+      run.requant_shifts.push_back(lr.requant_shift);
+      run.outputs.push_back(std::move(lr.output));
+    }
+    run.mean_streamed_precision = mean_sum / static_cast<double>(batch);
+  }
+  return run;
+}
+
+FunctionalBatchLayerRun FunctionalLoomEngine::run_fc_batch(
+    const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+    const nn::Tensor& weights, int out_bits) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kFullyConnected);
+  LOOM_EXPECTS(!inputs.empty());
+  FunctionalBatchLayerRun run;
+  run.name = layer.name;
+  run.out_bits = out_bits;
+  const std::size_t batch = inputs.size();
+  run.wides.reserve(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    run.wides.emplace_back(nn::Shape{layer.out.c, 1, 1});
+  }
+
+  if (bitslice_) {
+    std::vector<const nn::Tensor*> in_ptrs;
+    std::vector<nn::WideTensor*> wide_ptrs;
+    batch_ptrs(inputs, run.wides, in_ptrs, wide_ptrs);
+    bitslice_->run_fc_batch(layer, in_ptrs, weights, layer.weight_precision,
+                            wide_ptrs);
+    requantize_batch(run, out_bits, opts_.relu);
+  } else {
+    for (std::size_t r = 0; r < batch; ++r) {
+      FunctionalLayerRun lr = run_fc(layer, inputs[r], weights, out_bits);
+      run.wides[r] = std::move(lr.wide);
+      run.requant_shifts.push_back(lr.requant_shift);
+      run.outputs.push_back(std::move(lr.output));
+    }
+  }
+
+  // FC grid cycles have no batch dimension in the cascade model: every image
+  // streams its own full-precision activations, so the batch costs N solo
+  // passes. The request packing above is a software-throughput win only.
+  const std::int64_t ci = layer.in.elements();
+  const FcCascadePlan plan = plan_fc_cascade(
+      opts_.rows, opts_.cols, opts_.lanes, layer.out.c, ci,
+      static_cast<double>(layer.weight_precision),
+      static_cast<double>(kBasePrecision), opts_.cascading);
+  run.cycles = static_cast<std::uint64_t>(std::llround(
+                   plan.cycles + static_cast<double>(opts_.cols - 1))) *
+               static_cast<std::uint64_t>(batch);
+  run.mean_streamed_precision = kBasePrecision;
+  return run;
+}
+
+FunctionalBatchNetworkRun FunctionalLoomEngine::run_network_batch(
+    const nn::Network& net, std::span<const nn::Tensor> inputs,
+    std::span<const nn::Tensor> weights) {
+  LOOM_EXPECTS(!inputs.empty());
+  FunctionalBatchNetworkRun run;
+  std::vector<nn::Tensor> current(inputs.begin(), inputs.end());
+  std::size_t weight_index = 0;
+
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    switch (layer.kind) {
+      case nn::LayerKind::kConv:
+      case nn::LayerKind::kFullyConnected: {
+        LOOM_EXPECTS(weight_index < weights.size());
+        FunctionalBatchLayerRun lr =
+            layer.kind == nn::LayerKind::kConv
+                ? run_conv_batch(layer, current, weights[weight_index++],
+                                 consumer_out_bits(net, i))
+                : run_fc_batch(layer, current, weights[weight_index++],
+                               consumer_out_bits(net, i));
+        current = lr.outputs;
+        run.total_cycles += lr.cycles;
+        run.layers.push_back(std::move(lr));
+        break;
+      }
+      case nn::LayerKind::kPool: {
+        for (nn::Tensor& t : current) t = nn::pool_forward(t, layer);
+        break;
+      }
+    }
+  }
+  run.outputs = std::move(current);
+  LOOM_ENSURES(weight_index == weights.size());
+  return run;
+}
+
 FunctionalNetworkRun FunctionalLoomEngine::run_network(
     const nn::Network& net, const nn::Tensor& input,
     std::span<const nn::Tensor> weights) {
@@ -249,24 +419,14 @@ FunctionalNetworkRun FunctionalLoomEngine::run_network(
   nn::Tensor current = input;
   std::size_t weight_index = 0;
 
-  // Output precision of each weighted layer = the consumer's profile Pa.
-  const auto out_bits_for = [&](std::size_t i) {
-    for (std::size_t j = i + 1; j < net.size(); ++j) {
-      if (net.layer(j).kind == nn::LayerKind::kConv) {
-        return net.layer(j).act_precision;
-      }
-      if (net.layer(j).kind == nn::LayerKind::kFullyConnected) break;
-    }
-    return static_cast<int>(kBasePrecision);
-  };
-
   for (std::size_t i = 0; i < net.size(); ++i) {
     const nn::Layer& layer = net.layer(i);
     switch (layer.kind) {
       case nn::LayerKind::kConv: {
         LOOM_EXPECTS(weight_index < weights.size());
-        FunctionalLayerRun lr =
-            run_conv(layer, current, weights[weight_index++], out_bits_for(i));
+        FunctionalLayerRun lr = run_conv(layer, current,
+                                         weights[weight_index++],
+                                         consumer_out_bits(net, i));
         current = lr.output;
         run.total_cycles += lr.cycles;
         run.layers.push_back(std::move(lr));
@@ -274,8 +434,8 @@ FunctionalNetworkRun FunctionalLoomEngine::run_network(
       }
       case nn::LayerKind::kFullyConnected: {
         LOOM_EXPECTS(weight_index < weights.size());
-        FunctionalLayerRun lr =
-            run_fc(layer, current, weights[weight_index++], out_bits_for(i));
+        FunctionalLayerRun lr = run_fc(layer, current, weights[weight_index++],
+                                       consumer_out_bits(net, i));
         current = lr.output;
         run.total_cycles += lr.cycles;
         run.layers.push_back(std::move(lr));

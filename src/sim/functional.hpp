@@ -69,6 +69,27 @@ struct FunctionalNetworkRun {
   std::uint64_t total_cycles = 0;
 };
 
+/// One layer of a batched (multi-request) run. Outputs, accumulators and
+/// requantization shifts are per request and byte-identical to running each
+/// request alone; `cycles` is the grid wall clock for the *coalesced* batch
+/// (conv windows of all requests share the SIP columns, so this is less
+/// than the sum of solo runs whenever a request leaves lanes empty).
+struct FunctionalBatchLayerRun {
+  std::string name;
+  std::vector<nn::Tensor> outputs;      ///< per-request requantized outputs
+  std::vector<nn::WideTensor> wides;    ///< per-request exact accumulators
+  std::vector<int> requant_shifts;      ///< per-request (same as solo runs)
+  std::uint64_t cycles = 0;             ///< grid cycles for the whole batch
+  int out_bits = kBasePrecision;
+  double mean_streamed_precision = 0.0;  ///< mean Pa over the batch's chunks
+};
+
+struct FunctionalBatchNetworkRun {
+  std::vector<FunctionalBatchLayerRun> layers;
+  std::vector<nn::Tensor> outputs;  ///< per-request network outputs
+  std::uint64_t total_cycles = 0;
+};
+
 class FunctionalLoomEngine {
  public:
   explicit FunctionalLoomEngine(FunctionalOptions opts = {});
@@ -94,6 +115,30 @@ class FunctionalLoomEngine {
   /// *weighted* layer.
   [[nodiscard]] FunctionalNetworkRun run_network(
       const nn::Network& net, const nn::Tensor& input,
+      std::span<const nn::Tensor> weights);
+
+  // ---- Batched (multi-request) execution ----------------------------------
+  // N same-shape inputs run as one coalesced batch: conv im2col window
+  // ranges of different requests concatenate into the same 64-lane slabs of
+  // the bit-sliced engine, FC batches pack requests into the word lanes,
+  // and every request's outputs demux back out. Requantization (shift
+  // choice included) is per request, so outputs are byte-identical to N
+  // solo runs — pinned by tests/test_batch_properties.cpp and the serving
+  // stress tests, not assumed. On the scalar oracle a batch is executed as
+  // N solo runs (summed cycles), which is the batching semantics oracle.
+  // FC grid cycles stay per-image (batch = N x solo): the cascade model has
+  // no batch dimension; the lane packing is a software throughput win.
+
+  [[nodiscard]] FunctionalBatchLayerRun run_conv_batch(
+      const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+      const nn::Tensor& weights, int out_bits);
+
+  [[nodiscard]] FunctionalBatchLayerRun run_fc_batch(
+      const nn::Layer& layer, std::span<const nn::Tensor> inputs,
+      const nn::Tensor& weights, int out_bits);
+
+  [[nodiscard]] FunctionalBatchNetworkRun run_network_batch(
+      const nn::Network& net, std::span<const nn::Tensor> inputs,
       std::span<const nn::Tensor> weights);
 
   [[nodiscard]] const arch::Dispatcher& dispatcher() const noexcept {

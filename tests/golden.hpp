@@ -1,0 +1,37 @@
+// Shared golden-digest helpers for the test suite. FNV-1a over the exact
+// byte encodings the original per-file copies used, so digests captured
+// before the dedupe remain valid: integers hash as their 8-byte
+// two's-complement little-endian form, doubles as their IEEE-754 bytes,
+// tensors element-wise in flat (row-major) order via i64.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace loom::golden {
+
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) { bytes(s.data(), s.size()); }
+  void tensor(const nn::Tensor& t) {
+    for (std::int64_t i = 0; i < t.elements(); ++i) i64(t.flat(i));
+  }
+  void wide(const nn::WideTensor& t) {
+    for (std::int64_t i = 0; i < t.elements(); ++i) i64(t.flat(i));
+  }
+};
+
+}  // namespace loom::golden

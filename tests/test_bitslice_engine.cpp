@@ -5,6 +5,7 @@
 // analytic simulator.
 #include <gtest/gtest.h>
 
+#include "golden.hpp"
 #include "sim/bitslice_engine.hpp"
 #include "sim/dpnn_functional.hpp"
 #include "sim/functional.hpp"
@@ -14,20 +15,7 @@
 namespace loom::sim {
 namespace {
 
-struct Fnv {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  void bytes(const void* p, std::size_t n) {
-    const auto* b = static_cast<const unsigned char*>(p);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= b[i];
-      h *= 0x100000001b3ull;
-    }
-  }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
-  void i64(std::int64_t v) { bytes(&v, sizeof v); }
-  void f64(double v) { bytes(&v, sizeof v); }
-  void str(const std::string& s) { bytes(s.data(), s.size()); }
-};
+using golden::Fnv;
 
 struct TestNet {
   nn::Network net;
@@ -81,14 +69,10 @@ std::uint64_t digest(const TestNet& s, const FunctionalNetworkRun& run,
     f.i64(lr.requant_shift);
     f.f64(lr.mean_streamed_precision);
     if (l.kind == nn::LayerKind::kConv) f.u64(lr.cycles);
-    for (std::int64_t i = 0; i < lr.wide.elements(); ++i) f.i64(lr.wide.flat(i));
-    for (std::int64_t i = 0; i < lr.output.elements(); ++i) {
-      f.i64(lr.output.flat(i));
-    }
+    f.wide(lr.wide);
+    f.tensor(lr.output);
   }
-  for (std::int64_t i = 0; i < run.output.elements(); ++i) {
-    f.i64(run.output.flat(i));
-  }
+  f.tensor(run.output);
   f.u64(disp.activation_bits_streamed());
   f.u64(disp.weight_bits_streamed());
   f.u64(disp.detector().invocations());

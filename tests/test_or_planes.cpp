@@ -12,6 +12,7 @@
 
 #include "arch/config.hpp"
 #include "common/error.hpp"
+#include "golden.hpp"
 #include "nn/synthetic.hpp"
 #include "quant/profiles.hpp"
 #include "sim/or_planes.hpp"
@@ -234,20 +235,7 @@ TEST(OrPlanes, WorkloadRejectsOutOfRangeArguments) {
 // and must be rejected. Values assume IEEE-754 doubles and glibc's
 // correctly-rounded pow/exp (any Linux/x86-64 CI runner).
 
-struct Fnv {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  void bytes(const void* p, std::size_t n) {
-    const auto* b = static_cast<const unsigned char*>(p);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= b[i];
-      h *= 0x100000001b3ull;
-    }
-  }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
-  void i64(std::int64_t v) { bytes(&v, sizeof v); }
-  void f64(double v) { bytes(&v, sizeof v); }
-  void str(const std::string& s) { bytes(s.data(), s.size()); }
-};
+using golden::Fnv;
 
 std::uint64_t digest(const RunResult& r) {
   Fnv f;

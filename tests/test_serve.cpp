@@ -1,0 +1,277 @@
+// Inference server: deterministic concurrency stress tests. N producer
+// threads submit interleaved requests across two models (different
+// networks *and* different precision profiles); every per-request output
+// must be byte-identical to a solo run_network pass, backpressure on a full
+// queue must not deadlock, and shutdown with in-flight work must drain
+// cleanly. Server outputs are also pinned with a golden FNV digest
+// (tests/golden.hpp) so engine drift cannot hide behind the identity
+// checks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "golden.hpp"
+#include "serve/server.hpp"
+#include "sim/functional.hpp"
+
+namespace loom::serve {
+namespace {
+
+constexpr std::uint64_t kInputSeed = 77;
+
+/// Two models: a conv stack and an FC tail, with distinct profiles.
+void populate(ModelRegistry& registry) {
+  {
+    nn::Network net("convnet", nn::Shape3{6, 12, 12});
+    net.add_conv("c1", 12, 3, 1, 1).precision_group = 0;
+    net.add_pool("p1", nn::PoolKind::kMax, 2, 2);
+    net.add_conv("c2", 8, 3, 1, 0).precision_group = 1;
+    net.add_fc("logits", 9);
+    quant::PrecisionProfile p;
+    p.network = "convnet";
+    p.conv_act = {7, 6};
+    p.conv_weight = 9;
+    p.fc_weight = {8};
+    quant::apply_profile(net, p);
+    registry.add_synthetic("convnet", std::move(net), p, /*seed=*/31);
+  }
+  {
+    nn::Network net("mlp", nn::Shape3{96, 1, 1});
+    net.add_fc("h1", 40);
+    net.add_fc("logits", 12);
+    quant::PrecisionProfile p;
+    p.network = "mlp";
+    p.conv_weight = 11;
+    p.fc_weight = {10, 9};
+    quant::apply_profile(net, p);
+    registry.add_synthetic("mlp", std::move(net), p, /*seed=*/32);
+  }
+}
+
+/// Solo ground truth for (model, stream): one request at a time through a
+/// fresh engine — the byte-identity reference for every server output.
+std::map<std::pair<std::string, int>, nn::Tensor> solo_outputs(
+    const ModelRegistry& registry, int streams) {
+  std::map<std::pair<std::string, int>, nn::Tensor> out;
+  for (const std::string& name : registry.names()) {
+    const auto model = registry.find(name);
+    sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 1});
+    for (int s = 0; s < streams; ++s) {
+      out.emplace(std::make_pair(name, s),
+                  engine
+                      .run_network(model->net,
+                                   model->make_input(kInputSeed, s),
+                                   model->weights)
+                      .output);
+    }
+  }
+  return out;
+}
+
+TEST(ServeStress, InterleavedProducersAcrossModelsAreByteIdentical) {
+  ModelRegistry registry;
+  populate(registry);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 12;
+  const auto expected = solo_outputs(registry, kPerProducer);
+
+  ServeOptions opts;
+  opts.max_batch = 5;
+  opts.batch_deadline = std::chrono::microseconds(500);
+  opts.queue_depth = 16;
+  opts.workers = 2;
+  opts.engine.jobs = 1;
+  InferenceServer server(registry, opts);
+
+  struct Tagged {
+    std::string model;
+    int stream;
+    std::future<InferenceResult> future;
+  };
+  std::vector<std::vector<Tagged>> per_producer(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&registry, &server, &per_producer, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::string name = (p + i) % 2 == 0 ? "convnet" : "mlp";
+        const auto model = registry.find(name);
+        per_producer[p].push_back(
+            Tagged{name, i,
+                   server.submit(model, model->make_input(kInputSeed, i))});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  for (auto& tagged : per_producer) {
+    for (Tagged& t : tagged) {
+      InferenceResult res = t.future.get();
+      EXPECT_EQ(res.output, expected.at({t.model, t.stream}))
+          << t.model << " stream " << t.stream;
+      EXPECT_GE(res.batch_size, 1);
+      EXPECT_LE(res.batch_size, opts.max_batch);
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.completed, kProducers * kPerProducer);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_LE(stats.peak_queue_depth, opts.queue_depth);
+}
+
+TEST(ServeStress, QueueFullBackpressureDoesNotDeadlock) {
+  ModelRegistry registry;
+  populate(registry);
+  const auto expected = solo_outputs(registry, 8);
+
+  ServeOptions opts;
+  opts.max_batch = 3;
+  opts.batch_deadline = std::chrono::microseconds(0);  // flush immediately
+  opts.queue_depth = 2;  // producers outpace this by far
+  opts.workers = 1;
+  opts.engine.jobs = 1;
+  InferenceServer server(registry, opts);
+
+  constexpr int kProducers = 3;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&registry, &server, &futures, p] {
+      const auto model = registry.find(p % 2 == 0 ? "mlp" : "convnet");
+      for (int i = 0; i < 8; ++i) {
+        futures[p].push_back(
+            server.submit(model, model->make_input(kInputSeed, i)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    const std::string name = p % 2 == 0 ? "mlp" : "convnet";
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(futures[p][static_cast<std::size_t>(i)].get().output,
+                expected.at({name, i}));
+    }
+  }
+  // The bounded queue never overfilled: backpressure, not buffering.
+  EXPECT_LE(server.stats().peak_queue_depth, 2u);
+}
+
+TEST(ServeStress, CleanShutdownDrainsInFlightWork) {
+  ModelRegistry registry;
+  populate(registry);
+  const auto expected = solo_outputs(registry, 10);
+
+  std::vector<std::future<InferenceResult>> futures;
+  {
+    ServeOptions opts;
+    opts.max_batch = 4;
+    opts.batch_deadline = std::chrono::microseconds(200);
+    opts.queue_depth = 32;
+    opts.workers = 2;
+    opts.engine.jobs = 1;
+    InferenceServer server(registry, opts);
+    const auto model = registry.find("convnet");
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(server.submit(model, model->make_input(kInputSeed, i)));
+    }
+    // Destructor: refuse new work, run everything queued, join.
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().output,
+              expected.at({"convnet", i}));
+  }
+}
+
+TEST(Serve, SubmissionErrors) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.engine.jobs = 1;
+  InferenceServer server(registry, opts);
+
+  EXPECT_THROW((void)server.submit("no-such-model", nn::Tensor{}), ConfigError);
+  // Wrong input volume for the model.
+  EXPECT_THROW((void)server.submit("convnet",
+                                   nn::Tensor(nn::Shape{3, 2, 2})),
+               ConfigError);
+
+  const auto model = registry.find("mlp");
+  auto ok = server.submit(model, model->make_input(kInputSeed, 0));
+  server.stop();
+  EXPECT_NO_THROW((void)ok.get());  // in-flight work drained by stop()
+  EXPECT_THROW((void)server.submit(model, model->make_input(kInputSeed, 1)),
+               ConfigError);
+}
+
+TEST(Serve, RegistryErrors) {
+  ModelRegistry registry;
+  populate(registry);
+  EXPECT_THROW((void)registry.find("missing"), ConfigError);
+  nn::Network net("dup", nn::Shape3{4, 4, 4});
+  net.add_conv("c", 4, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "dup";
+  p.conv_act = {8};
+  p.conv_weight = 8;
+  quant::apply_profile(net, p);
+  EXPECT_THROW((void)registry.add_synthetic("convnet", std::move(net), p, 1),
+               ConfigError);
+  // Weight-count mismatch.
+  nn::Network net2("dup2", nn::Shape3{4, 4, 4});
+  net2.add_conv("c", 4, 3, 1, 1).precision_group = 0;
+  quant::apply_profile(net2, p);
+  EXPECT_THROW((void)registry.add("dup2", std::move(net2), p, {}), ConfigError);
+}
+
+// ---- Golden digest of server outputs --------------------------------------
+// FNV-1a over the outputs of a fixed request roster served through the
+// batcher, in submission order. Must equal both the pinned constant
+// (captured from solo runs of the engine on this roster — serving cannot
+// change results) and stay stable across batching compositions: the digest
+// is independent of how the batcher happened to slice the roster.
+
+constexpr std::uint64_t kServeGolden = 0xab0a1c6213d51055ull;
+
+TEST(ServeGolden, OutputsMatchPinnedSoloDigest) {
+  ModelRegistry registry;
+  populate(registry);
+
+  // Digest of the same roster run solo, computed in-test: serving must be
+  // invisible in the results no matter how the batcher sliced the roster.
+  golden::Fnv solo;
+  {
+    sim::FunctionalLoomEngine engine(sim::FunctionalOptions{.jobs = 1});
+    for (int i = 0; i < 12; ++i) {
+      const auto model = registry.find(i % 2 == 0 ? "convnet" : "mlp");
+      solo.tensor(engine
+                      .run_network(model->net, model->make_input(kInputSeed, i),
+                                   model->weights)
+                      .output);
+    }
+  }
+  EXPECT_EQ(solo.h, kServeGolden);
+
+  ServeOptions opts;
+  opts.max_batch = 6;
+  opts.batch_deadline = std::chrono::microseconds(300);
+  opts.workers = 1;
+  opts.engine.jobs = 1;
+  InferenceServer server(registry, opts);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    const auto model = registry.find(i % 2 == 0 ? "convnet" : "mlp");
+    futures.push_back(server.submit(model, model->make_input(kInputSeed, i)));
+  }
+  golden::Fnv f;
+  for (auto& fut : futures) f.tensor(fut.get().output);
+  EXPECT_EQ(f.h, kServeGolden);
+}
+
+}  // namespace
+}  // namespace loom::serve
