@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   core::RunnerOptions ropts;
   ropts.equiv_macs = equiv;
   ropts.include_stripes = false;
+  ropts.model_offchip = false;  // perf context matches the §4.3 tables
   core::ExperimentRunner runner(ropts);
   const auto cmp = runner.compare();
   const auto names = runner.roster_names();

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   core::RunnerOptions opts;
   opts.include_dstripes = true;
   opts.jobs = static_cast<int>(cli.get_int("jobs", 0));  // 0 = all hw threads
+  opts.model_offchip = false;  // Figure 4 is the §4.3 unconstrained setup
   core::ExperimentRunner runner(opts);
   const sim::Comparison cmp = runner.compare(networks);
   const auto names = runner.roster_names();

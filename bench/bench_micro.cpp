@@ -11,6 +11,7 @@
 #include "nn/im2col.hpp"
 #include "sim/bitslice_engine.hpp"
 #include "sim/functional.hpp"
+#include "sim/loom_sim.hpp"
 #include "sim/or_planes.hpp"
 
 using namespace loom;
@@ -440,6 +441,71 @@ void BM_ServeSequentialFc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kServeFcBatch);
 }
 BENCHMARK(BM_ServeSequentialFc);
+
+// ---- Memory-hierarchy timing core ----------------------------------------
+
+/// VGG conv2_1 geometry (128ch 112x112 -> 128 filters 3x3): its packed
+/// activations spill the 1 MB AM, so the tile scheduler has real work —
+/// window-slab search, dataflow choice, per-slab packed fills.
+mem::TilePlanRequest vgg_spill_request() {
+  mem::TilePlanRequest req;
+  req.windows = 112 * 112;
+  req.out_w = 112;
+  req.group_out_channels = 128;
+  req.inner_length = 128 * 9;
+  req.group_in_channels = 128;
+  req.in_h = 112;
+  req.in_w = 112;
+  req.kernel_h = 3;
+  req.stride = 1;
+  req.pad = 1;
+  req.window_quantum = 16;
+  req.filter_quantum = 128;
+  req.act_precision = 9;
+  req.weight_precision = 12;
+  req.weights_bit_packed = true;
+  req.out_precision = 9;
+  req.am_bits = (1 << 20) * 8;
+  req.wm_bits = (2 << 20) * 8;
+  return req;
+}
+
+void BM_TilePlanBuild(benchmark::State& state) {
+  const mem::TilePlanRequest req = vgg_spill_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::build_tile_plan(req));
+  }
+  state.SetItemsProcessed(state.iterations() * req.windows);
+}
+BENCHMARK(BM_TilePlanBuild);
+
+void BM_MemoryBoundVggConv(benchmark::State& state) {
+  // The full constrained-mode layer simulation (tile plan + per-tile
+  // compute callbacks + the double-buffered timeline) on the AM-spilling
+  // VGG conv — the steady-state cost the default roster sweeps pay per
+  // layer on top of the pure compute model.
+  nn::Network net("bench-mem", nn::Shape3{128, 112, 112});
+  net.add_conv("c", 128, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "bench-mem";
+  p.conv_act = {9};
+  p.conv_weight = 12;
+  quant::apply_profile(net, p);
+  sim::NetworkWorkload wl(std::move(net), p);
+
+  sim::SimOptions opts;
+  opts.model_offchip = true;
+  sim::LoomSimulator sim(arch::LoomConfig{}, opts);
+  // Warm the workload's OR planes/precision table once so the loop times
+  // the engine, not the one-time calibration.
+  benchmark::DoNotOptimize(sim.run(wl));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(wl));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (112 * 112 / 16));  // window blocks per run
+}
+BENCHMARK(BM_MemoryBoundVggConv)->Unit(benchmark::kMillisecond);
 
 void BM_BitsliceTranspose(benchmark::State& state) {
   // The 64x64 bit transpose that converts sliced accumulators back to

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     opts.equiv_macs = static_cast<int>(cli.get_int("equiv", 128));
     opts.jobs = static_cast<int>(cli.get_int("jobs", 0));  // 0 = all hw threads
     opts.target = target;
+    opts.model_offchip = false;  // Table 2 is the §4.3 unconstrained setup
     core::ExperimentRunner runner(opts);
     const sim::Comparison cmp = runner.compare(networks);
     std::cout << core::format_table2(

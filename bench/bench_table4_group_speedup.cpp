@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   opts.per_group_weights = true;
   opts.include_stripes = false;
   opts.jobs = static_cast<int>(cli.get_int("jobs", 0));  // 0 = all hw threads
+  opts.model_offchip = false;  // Table 4 is the §4.3 unconstrained setup
   core::ExperimentRunner runner(opts);
   const sim::Comparison cmp = runner.compare(networks);
   std::cout << core::format_all_layers(

@@ -2,8 +2,14 @@
 // machine-readable CSV — the workflow a deployment study would use to pick
 // an accelerator for an embedded SoC.
 //
-//   ./accelerator_comparison [--network=googlenet] [--equiv=128] [--offchip]
-//                            [--csv]
+// Runs in the constrained §4.5 memory mode by default (tile-scheduled
+// AM/WM with a single LPDDR4 channel); pass --model-offchip=false for the
+// paper's §4.3 unconstrained setup, and --am-kb/--wm-kb to sweep memory
+// capacities without recompiling.
+//
+//   ./accelerator_comparison [--network=googlenet] [--equiv=128]
+//                            [--model-offchip=false] [--am-kb=512]
+//                            [--wm-kb=1024] [--csv] [--memory]
 #include <iostream>
 
 #include "core/loom.hpp"
@@ -14,10 +20,8 @@ int main(int argc, char** argv) {
   const core::Options cli(argc, argv);
   const std::string network = cli.get("network", "googlenet");
 
-  core::RunnerOptions opts;
-  opts.equiv_macs = static_cast<int>(cli.get_int("equiv", 128));
-  opts.include_dstripes = true;
-  opts.model_offchip = cli.get_bool("offchip", false);
+  core::RunnerOptions opts = core::runner_options_from_cli(cli);
+  opts.include_dstripes = cli.get_bool("dstripes", true);
   core::ExperimentRunner runner(opts);
 
   const sim::Comparison cmp = runner.compare({network});
@@ -26,7 +30,8 @@ int main(int argc, char** argv) {
   if (cli.get_bool("csv", false)) {
     CsvWriter csv(std::cout);
     csv.write_row({"arch", "filter", "perf_vs_dpnn", "eff_vs_dpnn", "cycles",
-                   "fps", "core_mm2"});
+                   "stall_cycles", "dram_read_bits", "dram_write_bits", "fps",
+                   "core_mm2"});
     for (const auto f : {sim::RunResult::Filter::kAll,
                          sim::RunResult::Filter::kConv,
                          sim::RunResult::Filter::kFc}) {
@@ -34,9 +39,13 @@ int main(int argc, char** argv) {
                           : f == sim::RunResult::Filter::kConv ? "conv"
                                                                 : "fc";
       for (const auto& e : cmp.entries(f)) {
+        const energy::Activity a = e.result.activity(f);
         csv.write_row({e.arch, fname, TextTable::num(e.perf, 4),
                        TextTable::num(e.eff, 4),
                        std::to_string(e.result.cycles(f)),
+                       std::to_string(e.result.stall_cycles(f)),
+                       std::to_string(a.dram_read_bits),
+                       std::to_string(a.dram_write_bits),
                        TextTable::num(e.result.fps(), 2),
                        TextTable::num(e.result.area.core_mm2(), 3)});
       }
@@ -44,10 +53,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::cout << core::format_table2(cmp, names, "Comparison on " + network)
+  const std::string mode = opts.model_offchip
+                               ? " (constrained memory)"
+                               : " (unconstrained memory)";
+  std::cout << core::format_table2(cmp, names, "Comparison on " + network + mode)
             << '\n';
-  std::cout << core::format_all_layers(cmp, names, "Comparison on " + network)
+  std::cout << core::format_all_layers(cmp, names,
+                                       "Comparison on " + network + mode)
             << '\n';
+
+  if (opts.model_offchip && cli.get_bool("memory", false)) {
+    for (const auto& e : cmp.entries(sim::RunResult::Filter::kAll)) {
+      std::cout << '\n' << core::format_memory_breakdown(e.result);
+    }
+  }
 
   std::cout << "\nDecision guide: LM1b maximizes speed; LM2b/LM4b trade a "
                "little speed for lower area and energy; Stripes helps only "

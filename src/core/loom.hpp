@@ -29,6 +29,8 @@
 #include "mem/bitpacked.hpp"
 #include "mem/dram.hpp"
 #include "mem/hierarchy.hpp"
+#include "mem/tile_plan.hpp"
+#include "mem/timeline.hpp"
 #include "nn/network.hpp"
 #include "nn/reference.hpp"
 #include "nn/synthetic.hpp"

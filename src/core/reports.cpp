@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "mem/tile_plan.hpp"
 #include "nn/zoo/zoo.hpp"
 
 namespace loom::core {
@@ -135,6 +136,43 @@ std::string format_layer_breakdown(const sim::RunResult& run) {
   t.add_rule();
   t.add_row({"total", "", std::to_string(run.cycles()), "",
              std::to_string(run.macs()), "", "", ""});
+  return t.render();
+}
+
+std::string format_memory_breakdown(const sim::RunResult& run) {
+  TextTable t(run.arch_name + " on " + run.network + " — memory hierarchy");
+  t.set_header({"Layer", "Tiles", "ActFill(Kb)", "WFill(Kb)", "Drain(Kb)",
+                "FillCyc", "Stall", "Resident", "Dataflow"});
+  const auto kb = [](std::uint64_t bits) {
+    return TextTable::num(static_cast<double>(bits) / 1024.0, 1);
+  };
+  std::uint64_t fills = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t act_fills = 0;
+  std::uint64_t weight_fills = 0;
+  std::uint64_t drains = 0;
+  for (const auto& l : run.layers) {
+    const auto& m = l.memory;
+    std::string resident;
+    resident += m.acts_resident ? 'A' : '-';
+    resident += m.weights_resident ? 'W' : '-';
+    t.add_row({l.name, std::to_string(m.tiles), kb(m.act_fill_bits),
+               kb(m.weight_fill_bits), kb(m.out_drain_bits),
+               std::to_string(m.fill_cycles), std::to_string(l.stall_cycles),
+               resident,
+               m.dataflow == static_cast<std::uint8_t>(
+                                 mem::Dataflow::kActStationary)
+                   ? "act-st"
+                   : "wgt-st"});
+    fills += m.fill_cycles;
+    stalls += l.stall_cycles;
+    act_fills += m.act_fill_bits;
+    weight_fills += m.weight_fill_bits;
+    drains += m.out_drain_bits;
+  }
+  t.add_rule();
+  t.add_row({"total", "", kb(act_fills), kb(weight_fills), kb(drains),
+             std::to_string(fills), std::to_string(stalls), "", ""});
   return t.render();
 }
 

@@ -28,4 +28,9 @@ namespace loom::core {
 /// Per-layer drill-down of one run (cycles, utilization, precisions).
 [[nodiscard]] std::string format_layer_breakdown(const sim::RunResult& run);
 
+/// Memory-hierarchy drill-down of a constrained (§4.5) run: per layer the
+/// tile count, DRAM fill/drain traffic, channel-busy cycles, stalls and
+/// the residency/dataflow the shared tile scheduler chose.
+[[nodiscard]] std::string format_memory_breakdown(const sim::RunResult& run);
+
 }  // namespace loom::core

@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 
 #include "common/error.hpp"
@@ -11,12 +12,19 @@ namespace loom::core {
 
 ExperimentRunner::ExperimentRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
 
+sim::SimOptions ExperimentRunner::sim_options() const {
+  sim::SimOptions sim_opts;
+  sim_opts.model_offchip = opts_.model_offchip;
+  sim_opts.am_bytes = opts_.am_bytes;
+  sim_opts.wm_bytes = opts_.wm_bytes;
+  sim_opts.dram = opts_.dram;
+  return sim_opts;
+}
+
 std::unique_ptr<sim::Simulator> ExperimentRunner::make_baseline() const {
   arch::DpnnConfig cfg;
   cfg.equiv_macs = opts_.equiv_macs;
-  sim::SimOptions sim_opts;
-  sim_opts.model_offchip = opts_.model_offchip;
-  return sim::make_dpnn_simulator(cfg, sim_opts);
+  return sim::make_dpnn_simulator(cfg, sim_options());
 }
 
 std::size_t ExperimentRunner::roster_size() const noexcept {
@@ -27,8 +35,7 @@ std::size_t ExperimentRunner::roster_size() const noexcept {
 std::unique_ptr<sim::Simulator> ExperimentRunner::make_roster_entry(
     std::size_t index) const {
   LOOM_EXPECTS(index < roster_size());
-  sim::SimOptions sim_opts;
-  sim_opts.model_offchip = opts_.model_offchip;
+  const sim::SimOptions sim_opts = sim_options();
 
   if (opts_.include_stripes) {
     if (index == 0) {
@@ -141,8 +148,7 @@ sim::Comparison ExperimentRunner::compare_parallel(
 
 sim::RunResult ExperimentRunner::run_single(const std::string& arch_key,
                                             const std::string& network) {
-  sim::SimOptions sim_opts;
-  sim_opts.model_offchip = opts_.model_offchip;
+  const sim::SimOptions sim_opts = sim_options();
 
   std::unique_ptr<sim::Simulator> sim;
   if (arch_key == "dpnn") {
@@ -164,6 +170,37 @@ sim::RunResult ExperimentRunner::run_single(const std::string& arch_key,
     throw ConfigError("unknown architecture key: " + arch_key);
   }
   return sim->run(workload_for(network));
+}
+
+RunnerOptions runner_options_from_cli(const Options& cli) {
+  RunnerOptions opts;
+  opts.equiv_macs = static_cast<int>(cli.get_int("equiv", opts.equiv_macs));
+  opts.target = cli.get_int("target", 100) == 99 ? quant::AccuracyTarget::k99
+                                                 : quant::AccuracyTarget::k100;
+  opts.per_group_weights =
+      cli.get_bool("per-group-weights", opts.per_group_weights);
+  // --offchip is the historical spelling; --model-offchip matches the
+  // SimOptions knob. Constrained mode stays the sweep default.
+  opts.model_offchip = cli.get_bool(
+      "model-offchip", cli.get_bool("offchip", opts.model_offchip));
+  opts.am_bytes = cli.get_int("am-kb", 0) * 1024;
+  opts.wm_bytes = cli.get_int("wm-kb", 0) * 1024;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int(
+      "seed", static_cast<std::int64_t>(opts.seed)));
+  opts.jobs = static_cast<int>(cli.get_int("jobs", opts.jobs));
+  opts.include_stripes = !cli.get_bool("no-stripes", false);
+  opts.include_dstripes = cli.get_bool("dstripes", opts.include_dstripes);
+  if (cli.has("loom-bits")) {
+    opts.loom_bits.clear();
+    for (const std::string& b : cli.get_list("loom-bits", {})) {
+      // strtol like the other getters — never throws; non-numeric entries
+      // (including a bare --loom-bits flag) are dropped, and invalid bit
+      // widths still fail loudly in LoomConfig::validate.
+      const long bits = std::strtol(b.c_str(), nullptr, 10);
+      if (bits > 0) opts.loom_bits.push_back(static_cast<int>(bits));
+    }
+  }
+  return opts;
 }
 
 }  // namespace loom::core

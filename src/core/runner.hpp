@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/options.hpp"
 #include "quant/profiles.hpp"
 #include "sim/comparison.hpp"
 #include "sim/simulator.hpp"
@@ -20,7 +21,15 @@ struct RunnerOptions {
   int equiv_macs = 128;
   quant::AccuracyTarget target = quant::AccuracyTarget::k100;
   bool per_group_weights = false;  ///< §4.6 / Table 4 mode for the Loom variants
-  bool model_offchip = false;      ///< Figure 5 mode
+  /// Constrained §4.5 mode (tile-scheduled AM/WM + LPDDR4 timing from
+  /// sim/engine) — the default for roster sweeps. Disable to reproduce the
+  /// §4.3 unconstrained tables.
+  bool model_offchip = true;
+  /// AM/WM capacity overrides in bytes; 0 keeps each architecture's §4.5
+  /// default sizing (Loom 1 MB packed AM, DPNN 2 MB, WM scaling with E).
+  std::int64_t am_bytes = 0;
+  std::int64_t wm_bytes = 0;
+  mem::DramConfig dram;
   std::uint64_t seed = 1;
 
   bool include_stripes = true;
@@ -71,10 +80,20 @@ class ExperimentRunner {
   [[nodiscard]] sim::Comparison compare_parallel(
       const std::vector<std::string>& names, int jobs);
 
+  /// SimOptions every simulator of this runner receives (offchip mode,
+  /// capacity overrides, DRAM channel).
+  [[nodiscard]] sim::SimOptions sim_options() const;
+
   RunnerOptions opts_;
   std::mutex workloads_mutex_;
   std::vector<std::pair<std::string, std::unique_ptr<sim::NetworkWorkload>>>
       workloads_;
 };
+
+/// Parse the standard sweep flags into RunnerOptions, shared by the CLI
+/// binaries: --equiv, --target(100|99), --per-group-weights,
+/// --model-offchip / --offchip, --am-kb, --wm-kb, --jobs, --seed,
+/// --loom-bits, --dstripes, --no-stripes.
+[[nodiscard]] RunnerOptions runner_options_from_cli(const Options& cli);
 
 }  // namespace loom::core

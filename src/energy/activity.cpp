@@ -23,6 +23,7 @@ void Activity::merge(const Activity& other) noexcept {
   dram_read_bits += other.dram_read_bits;
   dram_write_bits += other.dram_write_bits;
   cycles += other.cycles;
+  dram_stall_cycles += other.dram_stall_cycles;
 }
 
 }  // namespace loom::energy

@@ -34,8 +34,10 @@ struct Activity {
   std::uint64_t dram_read_bits = 0;
   std::uint64_t dram_write_bits = 0;
 
-  // Time (for leakage)
+  // Time (for leakage). `cycles` includes stalls; dram_stall_cycles breaks
+  // out how many of them the off-chip channel caused (constrained mode).
   std::uint64_t cycles = 0;
+  std::uint64_t dram_stall_cycles = 0;
 
   void merge(const Activity& other) noexcept;
 };

@@ -11,7 +11,10 @@
 namespace loom::mem {
 
 /// Bits to store `count` values at `precision` bits each (bit-interleaved;
-/// rows padded to the `row_bits`-wide memory interface).
+/// rows padded to the `row_bits`-wide memory interface). The layout this
+/// prices is the one arch::serialize materializes: with row_bits = 64 the
+/// result is exactly that packing's word count times 64 (pinned by test,
+/// so the accounting and the packing cannot drift apart).
 [[nodiscard]] std::int64_t packed_bits(std::int64_t count, int precision,
                                        int row_bits = 2048);
 

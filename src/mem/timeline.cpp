@@ -1,0 +1,72 @@
+#include "mem/timeline.hpp"
+
+#include <algorithm>
+
+namespace loom::mem {
+
+void MemoryTimeline::begin_layer() {
+  act_barrier_ = compute_done_;
+  layer_ = {};
+}
+
+void MemoryTimeline::add_tile(std::uint64_t weight_fill_cycles,
+                              std::uint64_t act_fill_cycles,
+                              std::uint64_t drain_cycles,
+                              std::uint64_t compute_cycles) {
+  // Two buffers only: tile i's fill needs the buffer tile i-2's compute
+  // ran from, so it cannot start before that compute retired — the
+  // channel never runs unboundedly ahead of the pipeline.
+  const std::uint64_t gate_for_next = compute_done_;
+  std::uint64_t fill_done =
+      std::max(channel_free_, fill_gate_) + weight_fill_cycles;
+  if (act_fill_cycles > 0) {
+    // Activation fills read the previous layer's outputs: they cannot
+    // start before that compute retired.
+    fill_done = std::max(fill_done, act_barrier_) + act_fill_cycles;
+  }
+  channel_free_ = fill_done;
+
+  // Now the bus is momentarily idle: flush drains deferred behind this
+  // fill (they were only waiting for their compute, which has retired).
+  if (pending_drain_cycles_ > 0) {
+    channel_free_ = std::max(channel_free_, pending_drain_earliest_) +
+                    pending_drain_cycles_;
+    pending_drain_cycles_ = 0;
+  }
+
+  // Double-buffer swap: compute waits for both its data and the previous
+  // tile's compute; the gap is this tile's stall.
+  const std::uint64_t compute_start = std::max(fill_done, compute_done_);
+  const std::uint64_t stall = compute_start - compute_done_;
+  compute_done_ = compute_start + compute_cycles;
+
+  if (drain_cycles > 0) {
+    // Defer behind the next tile's fill; never before this compute.
+    pending_drain_cycles_ += drain_cycles;
+    pending_drain_earliest_ = compute_done_;
+  }
+
+  layer_.stall_cycles += stall;
+  layer_.fill_cycles += weight_fill_cycles + act_fill_cycles + drain_cycles;
+  layer_.max_tile_stall = std::max(layer_.max_tile_stall, stall);
+  if (stall > 0) ++layer_.stalled_tiles;
+  ++layer_.tiles;
+  fill_gate_ = gate_for_next;
+}
+
+MemoryTimeline::LayerStats MemoryTimeline::end_layer() {
+  const LayerStats stats = layer_;
+  layer_ = {};
+  return stats;
+}
+
+std::uint64_t MemoryTimeline::finish() {
+  if (pending_drain_cycles_ > 0) {
+    channel_free_ = std::max(channel_free_, pending_drain_earliest_) +
+                    pending_drain_cycles_;
+    pending_drain_cycles_ = 0;
+  }
+  return channel_free_ > compute_done_ ? channel_free_ - compute_done_ : 0;
+}
+
+}  // namespace loom::mem

@@ -1,0 +1,89 @@
+// Double-buffered memory timeline: the shared clock that turns a tile
+// schedule into per-tile stalls instead of a whole-layer bandwidth guess.
+//
+// The model is a two-stage pipeline over one LPDDR4 channel:
+//
+//  * the channel services transfers in FIFO order — tile fills first, with
+//    output drains deferred behind the *next* tile's fill (reads have
+//    priority; writes sit in the store buffer until the bus idles, but
+//    never start before their producing tile's compute retires);
+//  * a tile's compute starts once its fill completes AND the previous
+//    tile's compute retires (the double buffer swaps); the gap between the
+//    two is that tile's stall;
+//  * weight fills may prefetch across layer boundaries (the next layer's
+//    weights are known ahead of time), while activation fills wait for the
+//    producing layer's compute — begin_layer() records that barrier.
+//
+// One timeline spans a whole network run, so a layer's weight stream
+// overlaps the previous layer's compute exactly as the double-buffered WM
+// of §4.5 allows.
+#pragma once
+
+#include <cstdint>
+
+namespace loom::mem {
+
+/// Per-layer summary the timeline hands back to the simulators; stored on
+/// each LayerResult for the reports/CSV drill-down.
+struct MemoryTrace {
+  std::uint64_t tiles = 0;
+  std::uint64_t act_fill_bits = 0;
+  std::uint64_t weight_fill_bits = 0;
+  std::uint64_t out_drain_bits = 0;
+  std::uint64_t fill_cycles = 0;   ///< DRAM channel-busy cycles of this layer
+  std::uint64_t stall_cycles = 0;  ///< compute gaps attributed to this layer
+  std::uint64_t max_tile_stall = 0;
+  std::uint64_t stalled_tiles = 0;  ///< tiles whose compute had to wait
+  /// Layer compute minus the sum of the per-tile block cycles. Must be the
+  /// model's per-layer constants (pipeline fill, FC stagger) plus rounding
+  /// only — a drift here means a simulator's tile callback no longer
+  /// mirrors its analytic loop (tests pin it exactly for static configs).
+  std::int64_t compute_residual_cycles = 0;
+  bool acts_resident = true;
+  bool weights_resident = true;
+  std::uint8_t dataflow = 0;  ///< mem::Dataflow of the executed schedule
+
+  [[nodiscard]] std::uint64_t total_dram_bits() const noexcept {
+    return act_fill_bits + weight_fill_bits + out_drain_bits;
+  }
+};
+
+class MemoryTimeline {
+ public:
+  struct LayerStats {
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t fill_cycles = 0;
+    std::uint64_t max_tile_stall = 0;
+    std::uint64_t stalled_tiles = 0;
+    std::uint64_t tiles = 0;
+  };
+
+  /// Start a new layer: its activation fills cannot begin before every
+  /// prior compute retires (the inputs are the previous layer's outputs).
+  void begin_layer();
+
+  /// Advance the pipeline by one tile, giving the channel cycles of its
+  /// weight fill (prefetchable), activation fill (barrier-bound), output
+  /// drain (deferred behind the next fill) and its compute cycles.
+  void add_tile(std::uint64_t weight_fill_cycles,
+                std::uint64_t act_fill_cycles, std::uint64_t drain_cycles,
+                std::uint64_t compute_cycles);
+
+  /// Stats accumulated since the matching begin_layer().
+  [[nodiscard]] LayerStats end_layer();
+
+  /// Flush deferred drains; returns the cycles the channel keeps running
+  /// past the last compute (charged to the final layer by the caller).
+  [[nodiscard]] std::uint64_t finish();
+
+ private:
+  std::uint64_t channel_free_ = 0;
+  std::uint64_t compute_done_ = 0;
+  std::uint64_t fill_gate_ = 0;  ///< compute-retire time of the tile two back
+  std::uint64_t act_barrier_ = 0;
+  std::uint64_t pending_drain_cycles_ = 0;
+  std::uint64_t pending_drain_earliest_ = 0;
+  LayerStats layer_;
+};
+
+}  // namespace loom::mem

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "mem/bitpacked.hpp"
 
 namespace loom::sim {
 
@@ -17,8 +16,7 @@ DpnnSimulator::DpnnSimulator(const arch::DpnnConfig& cfg, const SimOptions& opts
   cfg_.validate();
 }
 
-LayerResult DpnnSimulator::simulate_layer(LayerWorkload& lw,
-                                          mem::MemorySystem& mem) const {
+LayerResult DpnnSimulator::simulate_compute(LayerWorkload& lw) const {
   const nn::Layer& layer = lw.layer();
   LayerResult r;
   r.name = layer.name;
@@ -85,28 +83,44 @@ LayerResult DpnnSimulator::simulate_layer(LayerWorkload& lw,
   r.activity.about_write_bits = out_bits;
   r.activity.about_read_bits = out_bits;
   r.activity.am_write_bits = out_bits;
+  return r;
+}
 
-  if (opts_.model_offchip) {
-    // Weights always stream from off-chip once (16-bit layout); if the
-    // layer's activations do not fit the AM they spill.
-    const std::uint64_t weight_bits = static_cast<std::uint64_t>(
-        mem::parallel_bits(layer.weight_count()));
-    std::uint64_t dram_read = weight_bits;
-    std::uint64_t dram_write = 0;
-    const std::int64_t act_bits =
-        (layer.in.elements() + layer.out.elements()) * 16;
-    if (!mem.activations_fit(act_bits)) {
-      dram_read += static_cast<std::uint64_t>(layer.in.elements()) * 16;
-      dram_write += static_cast<std::uint64_t>(layer.out.elements()) * 16;
-    }
-    r.activity.dram_read_bits = dram_read;
-    r.activity.dram_write_bits = dram_write;
-    const std::uint64_t dram_cycles =
-        mem.offchip_read(dram_read) + mem.offchip_write(dram_write);
-    r.stall_cycles =
-        dram_cycles > r.compute_cycles ? dram_cycles - r.compute_cycles : 0;
-  }
+void DpnnSimulator::apply_memory(LayerResult& r, LayerWorkload& lw,
+                                 engine::TimingCore& core) const {
+  // The bit-parallel baseline stores everything at the full 16 bits —
+  // weights in 16-bit rows, activations unpacked.
+  const nn::Layer& layer = lw.layer();
+  engine::LayerStorage st;  // all precisions default to kBasePrecision
+  const int k = cfg_.filters();
+  const int lanes = cfg_.act_lanes;
+  st.filter_quantum = k;
+  st.window_quantum = layer.kind == nn::LayerKind::kConv ? 16 : 1;
 
+  const std::int64_t ic_count = ceil_div(layer.inner_length(), lanes);
+  core.apply(r, lw, st, [k, ic_count](const mem::TileExtent& t) {
+    // windows x input chunks x filter blocks, restricted to the tile.
+    return static_cast<double>(t.window_count()) *
+           static_cast<double>(ic_count) *
+           static_cast<double>(ceil_div(t.filter_count(), k));
+  });
+}
+
+LayerResult DpnnSimulator::simulate_layer(LayerWorkload& lw,
+                                          engine::TimingCore& core) const {
+  LayerResult r = simulate_compute(lw);
+  if (opts_.model_offchip) apply_memory(r, lw, core);
+  r.activity.cycles = r.cycles();
+  return r;
+}
+
+LayerResult DpnnSimulator::simulate_layer(LayerWorkload& lw,
+                                          mem::MemorySystem& mem) const {
+  engine::TimingCore core(mem);
+  LayerResult r = simulate_layer(lw, core);
+  const std::uint64_t tail = core.finish();
+  r.stall_cycles += tail;
+  r.activity.dram_stall_cycles += tail;
   r.activity.cycles = r.cycles();
   return r;
 }
@@ -117,18 +131,18 @@ RunResult DpnnSimulator::run(NetworkWorkload& workload) {
   result.network = workload.network().name();
   result.bits_per_cycle = 1;
 
-  mem::MemorySystemConfig mem_cfg =
-      mem::default_memory_config(cfg_.equiv_macs, /*bit_packed=*/false);
-  mem_cfg.model_offchip = opts_.model_offchip;
-  mem_cfg.dram = opts_.dram;
+  const mem::MemorySystemConfig mem_cfg = engine::resolve_memory_config(
+      cfg_.equiv_macs, /*bit_packed=*/false, opts_);
   mem::MemorySystem mem(mem_cfg);
+  engine::TimingCore core(mem);
 
   result.area = energy::dpnn_area(cfg_, mem_cfg);
 
   for (std::size_t i = 0; i < workload.network().size(); ++i) {
     if (!workload.network().layer(i).has_weights()) continue;
-    result.layers.push_back(simulate_layer(workload.layer(i), mem));
+    result.layers.push_back(simulate_layer(workload.layer(i), core));
   }
+  engine::finish_run(result, core);
   return result;
 }
 

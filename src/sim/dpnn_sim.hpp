@@ -4,6 +4,7 @@
 // layers walk input chunks x filter blocks.
 #pragma once
 
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace loom::sim {
@@ -16,9 +17,15 @@ class DpnnSimulator final : public Simulator {
   [[nodiscard]] RunResult run(NetworkWorkload& workload) override;
 
   [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           engine::TimingCore& core) const;
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
                                            mem::MemorySystem& mem) const;
 
  private:
+  [[nodiscard]] LayerResult simulate_compute(LayerWorkload& lw) const;
+  void apply_memory(LayerResult& r, LayerWorkload& lw,
+                    engine::TimingCore& core) const;
+
   arch::DpnnConfig cfg_;
   SimOptions opts_;
 };

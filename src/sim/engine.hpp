@@ -1,0 +1,75 @@
+// Shared memory-timing core for the three cycle simulators (§4.5 /
+// Figure 5 constrained mode).
+//
+// Each simulator owns its compute model; what they previously *also* owned
+// — three diverging copies of whole-layer DRAM accounting — lives here
+// once. TimingCore builds a LayerTilePlan (mem/tile_plan) from the layer
+// geometry and the architecture's storage precisions, prices every tile's
+// fills on the LPDDR4 channel, and runs the double-buffered MemoryTimeline
+// so compute and transfers overlap per tile. The simulator contributes one
+// callback: the compute cycles of a (conv group, window range, filter
+// range) block under its own cycle model. Tile quanta are chosen so the
+// blocks sum *exactly* to the layer's unconstrained compute cycles — the
+// constrained mode changes stalls and traffic, never compute.
+#pragma once
+
+#include <functional>
+
+#include "mem/tile_plan.hpp"
+#include "mem/timeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace loom::sim::engine {
+
+/// How one architecture lays the layer out in memory.
+struct LayerStorage {
+  int act_precision = kBasePrecision;  ///< input activations (AM / DRAM)
+  bool act_dynamic = false;  ///< pack slabs at the detected per-block precision
+  int weight_precision = kBasePrecision;
+  bool weights_bit_packed = false;  ///< Loom's packed WM layout vs 16-bit rows
+  int out_precision = kBasePrecision;
+
+  /// Tile quanta matching the architecture's concurrency (see tile_plan).
+  std::int64_t window_quantum = 16;
+  std::int64_t filter_quantum = 16;
+};
+
+/// Compute cycles of one (conv group, window range, filter range) block
+/// under the simulator's cycle model. Called once per block; weight-stream
+/// chunks of a block split the result proportionally to their weights.
+using BlockCompute = std::function<double(const mem::TileExtent&)>;
+
+class TimingCore {
+ public:
+  /// Binds the core to a run's memory system; the timeline it owns spans
+  /// all layers, so fills prefetch across layer boundaries.
+  explicit TimingCore(mem::MemorySystem& mem) : mem_(mem) {}
+
+  /// Apply constrained-memory timing to `r` (whose compute_cycles and
+  /// activity the simulator already filled): builds the tile plan, runs
+  /// the shared timeline and fills r.stall_cycles, r.memory and the DRAM
+  /// traffic in r.activity. Off-chip traffic/stalls come only from here.
+  void apply(LayerResult& r, LayerWorkload& lw, const LayerStorage& storage,
+             const BlockCompute& block_compute);
+
+  /// Drain-tail cycles past the final compute; the caller adds them to the
+  /// last layer's stall so RunResult::cycles() covers the whole timeline.
+  [[nodiscard]] std::uint64_t finish() { return timeline_.finish(); }
+
+ private:
+  mem::MemorySystem& mem_;
+  mem::MemoryTimeline timeline_;
+};
+
+/// The §4.5 memory configuration for an architecture at `equiv_macs`, with
+/// the SimOptions capacity overrides and DRAM channel applied — shared by
+/// the three simulators' run() methods.
+[[nodiscard]] mem::MemorySystemConfig resolve_memory_config(
+    int equiv_macs, bool bit_packed, const SimOptions& opts);
+
+/// Close a run's timeline: any drain tail still on the channel past the
+/// final compute is charged to the last layer so RunResult::cycles()
+/// covers the whole execution. No-op on unconstrained runs.
+void finish_run(RunResult& result, TimingCore& core);
+
+}  // namespace loom::sim::engine

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "mem/bitpacked.hpp"
 
 namespace loom::sim {
 
@@ -264,36 +263,82 @@ LayerResult LoomSimulator::simulate_fc(LayerWorkload& lw) const {
   return r;
 }
 
-void LoomSimulator::add_offchip(LayerResult& r, const nn::Layer& layer,
-                                mem::MemorySystem& mem) const {
-  // Weights stream from off-chip once, bit-packed at the static profile
-  // precision (per-group packing would need per-group metadata; the static
-  // profile is what the memory layout uses).
-  const std::uint64_t weight_bits = static_cast<std::uint64_t>(
-      mem::packed_bits(layer.weight_count(), layer.weight_precision));
-  std::uint64_t dram_read = weight_bits;
-  std::uint64_t dram_write = 0;
-  const int in_prec =
-      layer.kind == nn::LayerKind::kConv ? layer.act_precision : kBasePrecision;
-  const std::int64_t act_bits =
-      layer.in.elements() * in_prec + layer.out.elements() * 16;
-  if (!mem.activations_fit(act_bits)) {
-    dram_read += static_cast<std::uint64_t>(layer.in.elements() * in_prec);
-    dram_write += static_cast<std::uint64_t>(layer.out.elements() * in_prec);
+void LoomSimulator::apply_memory(LayerResult& r, LayerWorkload& lw,
+                                 engine::TimingCore& core) const {
+  const nn::Layer& layer = lw.layer();
+  engine::LayerStorage st;
+  // Weights lay out bit-packed at the static profile precision (per-group
+  // packing would need per-group metadata; the static profile is what the
+  // memory layout uses).
+  st.weights_bit_packed = true;
+  st.weight_precision = layer.weight_precision;
+
+  const int rows = cfg_.rows();
+  const double pw = timing_weight_precision(lw);
+
+  if (layer.kind == nn::LayerKind::kConv) {
+    st.act_precision = layer.act_precision;
+    st.act_dynamic = cfg_.dynamic_act_precision;
+    st.out_precision = lw.out_precision;
+    st.window_quantum = 16;
+    st.filter_quantum = rows;
+
+    const int cols = cfg_.cols();
+    const int bpc = cfg_.bits_per_cycle;
+    const std::int64_t ic_count = ceil_div(layer.inner_length(), cfg_.lanes);
+    ActPrecisionTable pa_table;
+    if (cfg_.dynamic_act_precision) {
+      pa_table = lw.act_group_precision_table(16);
+    }
+    core.apply(r, lw, st, [&, pa_table](const mem::TileExtent& t) {
+      // Mirrors simulate_conv's chunk loop over the tile's window blocks,
+      // so the blocks sum exactly to the unconstrained cycle count.
+      double cyc = 0.0;
+      for (std::int64_t wb = t.window_begin / cols; wb * cols < t.window_end;
+           ++wb) {
+        for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+          const int pa = cfg_.dynamic_act_precision
+                             ? pa_table.at(t.conv_group, (wb * cols) / 16, ic)
+                             : layer.act_precision;
+          cyc += static_cast<double>(ceil_div(pa, bpc)) * pw;
+        }
+      }
+      return cyc * static_cast<double>(ceil_div(t.filter_count(), rows));
+    });
+  } else {
+    st.window_quantum = 1;
+    const double act_passes =
+        static_cast<double>(kBasePrecision / cfg_.bits_per_cycle);
+    const FcCascadePlan plan =
+        plan_fc_cascade(rows, cfg_.cols(), cfg_.lanes, layer.out.c,
+                        layer.in.elements(), pw, act_passes, cfg_.cascading);
+    const std::int64_t opb =
+        static_cast<std::int64_t>(rows) * cfg_.cols() / plan.ways;
+    st.filter_quantum = opb;
+    core.apply(r, lw, st, [=](const mem::TileExtent& t) {
+      const auto blocks = static_cast<double>(ceil_div(t.filter_count(), opb));
+      return blocks * (static_cast<double>(plan.rounds) * act_passes * pw +
+                       static_cast<double>(plan.ways - 1));
+    });
   }
-  r.activity.dram_read_bits = dram_read;
-  r.activity.dram_write_bits = dram_write;
-  const std::uint64_t dram_cycles =
-      mem.offchip_read(dram_read) + mem.offchip_write(dram_write);
-  r.stall_cycles =
-      dram_cycles > r.compute_cycles ? dram_cycles - r.compute_cycles : 0;
+}
+
+LayerResult LoomSimulator::simulate_layer(LayerWorkload& lw,
+                                          engine::TimingCore& core) const {
+  LayerResult r = lw.layer().kind == nn::LayerKind::kConv ? simulate_conv(lw)
+                                                          : simulate_fc(lw);
+  if (opts_.model_offchip) apply_memory(r, lw, core);
+  r.activity.cycles = r.cycles();
+  return r;
 }
 
 LayerResult LoomSimulator::simulate_layer(LayerWorkload& lw,
                                           mem::MemorySystem& mem) const {
-  LayerResult r = lw.layer().kind == nn::LayerKind::kConv ? simulate_conv(lw)
-                                                          : simulate_fc(lw);
-  if (opts_.model_offchip) add_offchip(r, lw.layer(), mem);
+  engine::TimingCore core(mem);
+  LayerResult r = simulate_layer(lw, core);
+  const std::uint64_t tail = core.finish();
+  r.stall_cycles += tail;
+  r.activity.dram_stall_cycles += tail;
   r.activity.cycles = r.cycles();
   return r;
 }
@@ -304,18 +349,18 @@ RunResult LoomSimulator::run(NetworkWorkload& workload) {
   result.network = workload.network().name();
   result.bits_per_cycle = cfg_.bits_per_cycle;
 
-  mem::MemorySystemConfig mem_cfg =
-      mem::default_memory_config(cfg_.equiv_macs, /*bit_packed=*/true);
-  mem_cfg.model_offchip = opts_.model_offchip;
-  mem_cfg.dram = opts_.dram;
+  const mem::MemorySystemConfig mem_cfg =
+      engine::resolve_memory_config(cfg_.equiv_macs, /*bit_packed=*/true, opts_);
   mem::MemorySystem mem(mem_cfg);
+  engine::TimingCore core(mem);
 
   result.area = energy::loom_area(cfg_, mem_cfg);
 
   for (std::size_t i = 0; i < workload.network().size(); ++i) {
     if (!workload.network().layer(i).has_weights()) continue;
-    result.layers.push_back(simulate_layer(workload.layer(i), mem));
+    result.layers.push_back(simulate_layer(workload.layer(i), core));
   }
+  engine::finish_run(result, core);
   return result;
 }
 

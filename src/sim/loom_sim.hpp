@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace loom::sim {
@@ -49,14 +50,20 @@ class LoomSimulator final : public Simulator {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] RunResult run(NetworkWorkload& workload) override;
 
+  /// Simulate one layer against a run-wide timing core (the shared tile
+  /// scheduler + memory timeline; see sim/engine.hpp).
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           engine::TimingCore& core) const;
+  /// Convenience overload for single-layer callers: a transient per-layer
+  /// timeline (no cross-layer prefetch), drain tail included.
   [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
                                            mem::MemorySystem& mem) const;
 
  private:
   [[nodiscard]] LayerResult simulate_conv(LayerWorkload& lw) const;
   [[nodiscard]] LayerResult simulate_fc(LayerWorkload& lw) const;
-  void add_offchip(LayerResult& r, const nn::Layer& layer,
-                   mem::MemorySystem& mem) const;
+  void apply_memory(LayerResult& r, LayerWorkload& lw,
+                    engine::TimingCore& core) const;
   /// Weight precision (possibly fractional) used for timing this layer.
   [[nodiscard]] double timing_weight_precision(LayerWorkload& lw) const;
 

@@ -26,6 +26,14 @@ std::uint64_t RunResult::cycles(Filter f) const noexcept {
   return n;
 }
 
+std::uint64_t RunResult::stall_cycles(Filter f) const noexcept {
+  std::uint64_t n = 0;
+  for (const LayerResult& l : layers) {
+    if (matches(l.kind, f)) n += l.stall_cycles;
+  }
+  return n;
+}
+
 std::int64_t RunResult::macs(Filter f) const noexcept {
   std::int64_t n = 0;
   for (const LayerResult& l : layers) {

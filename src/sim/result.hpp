@@ -8,6 +8,7 @@
 
 #include "energy/area_model.hpp"
 #include "energy/energy_model.hpp"
+#include "mem/timeline.hpp"
 #include "nn/layer.hpp"
 
 namespace loom::sim {
@@ -30,6 +31,10 @@ struct LayerResult {
   double mean_weight_precision = 0.0;
 
   energy::Activity activity;
+
+  /// Tile/traffic breakdown from the shared timing core (constrained mode
+  /// only; all-zero in the §4.3 unconstrained setup).
+  mem::MemoryTrace memory;
 };
 
 struct RunResult {
@@ -42,6 +47,7 @@ struct RunResult {
   enum class Filter { kAll, kConv, kFc };
 
   [[nodiscard]] std::uint64_t cycles(Filter f = Filter::kAll) const noexcept;
+  [[nodiscard]] std::uint64_t stall_cycles(Filter f = Filter::kAll) const noexcept;
   [[nodiscard]] std::int64_t macs(Filter f = Filter::kAll) const noexcept;
   [[nodiscard]] energy::Activity activity(Filter f = Filter::kAll) const noexcept;
 

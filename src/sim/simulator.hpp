@@ -22,8 +22,13 @@ inline constexpr std::uint64_t kPipelineFill = 8;
 struct SimOptions {
   /// false reproduces §4.3's setup (activations on chip, weights
   /// unconstrained); true adds the single-channel LPDDR4-4267 and AM/WM
-  /// capacity effects of §4.5 / Figure 5.
+  /// capacity effects of §4.5 / Figure 5, modeled by the shared tile
+  /// scheduler + memory timeline (sim/engine).
   bool model_offchip = false;
+  /// Capacity overrides for sizing sweeps; 0 keeps the §4.5 default the
+  /// architecture implies (mem::default_memory_config).
+  std::int64_t am_bytes = 0;
+  std::int64_t wm_bytes = 0;
   mem::DramConfig dram;
 };
 

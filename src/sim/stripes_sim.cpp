@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "mem/bitpacked.hpp"
 
 namespace loom::sim {
 
@@ -14,8 +13,7 @@ StripesSimulator::StripesSimulator(const arch::StripesConfig& cfg,
   cfg_.validate();
 }
 
-LayerResult StripesSimulator::simulate_layer(LayerWorkload& lw,
-                                             mem::MemorySystem& mem) const {
+LayerResult StripesSimulator::simulate_compute(LayerWorkload& lw) const {
   const nn::Layer& layer = lw.layer();
   LayerResult r;
   r.name = layer.name;
@@ -155,29 +153,75 @@ LayerResult StripesSimulator::simulate_layer(LayerWorkload& lw,
   r.activity.am_write_bits =
       static_cast<std::uint64_t>(layer.out.elements() * out_prec);
   r.activity.transposer_bits = r.activity.am_write_bits;
+  return r;
+}
 
-  if (opts_.model_offchip) {
-    const std::uint64_t weight_bits = static_cast<std::uint64_t>(
-        mem::parallel_bits(layer.weight_count()));  // weights stay 16-bit
-    std::uint64_t dram_read = weight_bits;
-    std::uint64_t dram_write = 0;
-    const int in_prec = layer.kind == nn::LayerKind::kConv
-                            ? layer.act_precision
-                            : kBasePrecision;
-    const std::int64_t act_bits =
-        layer.in.elements() * in_prec + layer.out.elements() * 16;
-    if (!mem.activations_fit(act_bits)) {
-      dram_read += static_cast<std::uint64_t>(layer.in.elements() * in_prec);
-      dram_write += static_cast<std::uint64_t>(layer.out.elements() * in_prec);
+void StripesSimulator::apply_memory(LayerResult& r, LayerWorkload& lw,
+                                    engine::TimingCore& core) const {
+  // Stripes packs activations (not weights): the AM/DRAM activation layout
+  // follows the profile (or detected) precision, weights stay 16-bit rows.
+  const nn::Layer& layer = lw.layer();
+  engine::LayerStorage st;
+  const int k = cfg_.filters();
+  const int lanes = cfg_.lanes;
+  const int windows_par = cfg_.windows;
+
+  if (layer.kind == nn::LayerKind::kConv) {
+    st.act_precision = layer.act_precision;
+    st.act_dynamic = cfg_.dynamic_act_precision;
+    st.out_precision = lw.out_precision;
+    st.window_quantum = windows_par;
+    st.filter_quantum = k;
+
+    const std::int64_t ic_count = ceil_div(layer.inner_length(), lanes);
+    ActPrecisionTable pa_table;
+    if (cfg_.dynamic_act_precision) {
+      pa_table = lw.act_group_precision_table(windows_par);
     }
-    r.activity.dram_read_bits = dram_read;
-    r.activity.dram_write_bits = dram_write;
-    const std::uint64_t dram_cycles =
-        mem.offchip_read(dram_read) + mem.offchip_write(dram_write);
-    r.stall_cycles =
-        dram_cycles > r.compute_cycles ? dram_cycles - r.compute_cycles : 0;
+    core.apply(r, lw, st, [&, pa_table](const mem::TileExtent& t) {
+      // Mirrors simulate_compute's chunk loop restricted to the tile.
+      double cyc = 0.0;
+      for (std::int64_t wb = t.window_begin / windows_par;
+           wb * windows_par < t.window_end; ++wb) {
+        for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+          const int pa = cfg_.dynamic_act_precision
+                             ? pa_table.at(t.conv_group, wb, ic)
+                             : layer.act_precision;
+          cyc += static_cast<double>(pa);
+        }
+      }
+      return cyc * static_cast<double>(ceil_div(t.filter_count(), k));
+    });
+  } else {
+    // FCL: 16 serial cycles per 16-activation chunk over the concurrent
+    // filter x window units; weights and activations stay 16-bit.
+    st.window_quantum = 1;
+    const std::int64_t concurrent =
+        static_cast<std::int64_t>(k) * windows_par;
+    st.filter_quantum = concurrent;
+    const std::int64_t ic_count = ceil_div(layer.in.elements(), lanes);
+    core.apply(r, lw, st, [=](const mem::TileExtent& t) {
+      return static_cast<double>(ceil_div(t.filter_count(), concurrent)) *
+             static_cast<double>(ic_count) * 16.0;
+    });
   }
+}
 
+LayerResult StripesSimulator::simulate_layer(LayerWorkload& lw,
+                                             engine::TimingCore& core) const {
+  LayerResult r = simulate_compute(lw);
+  if (opts_.model_offchip) apply_memory(r, lw, core);
+  r.activity.cycles = r.cycles();
+  return r;
+}
+
+LayerResult StripesSimulator::simulate_layer(LayerWorkload& lw,
+                                             mem::MemorySystem& mem) const {
+  engine::TimingCore core(mem);
+  LayerResult r = simulate_layer(lw, core);
+  const std::uint64_t tail = core.finish();
+  r.stall_cycles += tail;
+  r.activity.dram_stall_cycles += tail;
   r.activity.cycles = r.cycles();
   return r;
 }
@@ -188,18 +232,18 @@ RunResult StripesSimulator::run(NetworkWorkload& workload) {
   result.network = workload.network().name();
   result.bits_per_cycle = 1;
 
-  mem::MemorySystemConfig mem_cfg =
-      mem::default_memory_config(cfg_.equiv_macs, /*bit_packed=*/true);
-  mem_cfg.model_offchip = opts_.model_offchip;
-  mem_cfg.dram = opts_.dram;
+  const mem::MemorySystemConfig mem_cfg =
+      engine::resolve_memory_config(cfg_.equiv_macs, /*bit_packed=*/true, opts_);
   mem::MemorySystem mem(mem_cfg);
+  engine::TimingCore core(mem);
 
   result.area = energy::stripes_area(cfg_, mem_cfg);
 
   for (std::size_t i = 0; i < workload.network().size(); ++i) {
     if (!workload.network().layer(i).has_weights()) continue;
-    result.layers.push_back(simulate_layer(workload.layer(i), mem));
+    result.layers.push_back(simulate_layer(workload.layer(i), core));
   }
+  engine::finish_run(result, core);
   return result;
 }
 

@@ -5,6 +5,7 @@
 // nothing over the baseline because weights stay bit-parallel.
 #pragma once
 
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace loom::sim {
@@ -17,9 +18,15 @@ class StripesSimulator final : public Simulator {
   [[nodiscard]] RunResult run(NetworkWorkload& workload) override;
 
   [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           engine::TimingCore& core) const;
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
                                            mem::MemorySystem& mem) const;
 
  private:
+  [[nodiscard]] LayerResult simulate_compute(LayerWorkload& lw) const;
+  void apply_memory(LayerResult& r, LayerWorkload& lw,
+                    engine::TimingCore& core) const;
+
   arch::StripesConfig cfg_;
   SimOptions opts_;
 };

@@ -8,6 +8,15 @@
 namespace loom::core {
 namespace {
 
+/// The paper's §4.3 evaluation: activations on chip, weights
+/// unconstrained. Roster sweeps default to the constrained §4.5 mode, so
+/// the band-reproduction tests pin the mode explicitly.
+RunnerOptions paper_opts() {
+  RunnerOptions opts;
+  opts.model_offchip = false;
+  return opts;
+}
+
 TEST(Runner, RosterNamesFollowOptions) {
   RunnerOptions opts;
   opts.include_dstripes = true;
@@ -20,7 +29,7 @@ TEST(Runner, RosterNamesFollowOptions) {
 }
 
 TEST(Runner, AlexNetReproducesPaperBands) {
-  ExperimentRunner runner;
+  ExperimentRunner runner(paper_opts());
   const sim::Comparison cmp = runner.compare({"alexnet"});
   const auto find = [&](const std::string& prefix, sim::RunResult::Filter f) {
     for (const auto& e : cmp.entries(f)) {
@@ -69,7 +78,9 @@ TEST(Runner, GeomeansAggregateAcrossNetworks) {
 }
 
 TEST(Runner, PerGroupModeBeatsProfileMode) {
-  RunnerOptions base;
+  // §4.6 is a compute-time estimate: compare without memory stalls (a
+  // bandwidth-bound layer hides compute gains under either mode).
+  RunnerOptions base = paper_opts();
   base.loom_bits = {1};
   base.include_stripes = false;
   RunnerOptions grouped = base;
@@ -92,7 +103,7 @@ TEST(Runner, RunSingleMatchesComparisonBaseline) {
 }
 
 TEST(Runner, The99ProfileIsFasterThan100) {
-  RunnerOptions o100;
+  RunnerOptions o100 = paper_opts();
   o100.loom_bits = {1};
   o100.include_stripes = false;
   RunnerOptions o99 = o100;
@@ -122,6 +133,72 @@ TEST(Reports, FormattersProduceTables) {
   const std::string breakdown = format_layer_breakdown(run);
   EXPECT_NE(breakdown.find("conv1"), std::string::npos);
   EXPECT_NE(breakdown.find("fc8"), std::string::npos);
+}
+
+TEST(Runner, ConstrainedModeIsTheSweepDefault) {
+  // Default roster sweeps model the §4.5 memory hierarchy: weights stream
+  // from DRAM, so every run reports off-chip traffic; the unconstrained
+  // mode reports none.
+  RunnerOptions defaults;
+  EXPECT_TRUE(defaults.model_offchip);
+
+  ExperimentRunner constrained{RunnerOptions{}};
+  const auto run = constrained.run_single("lm1b", "alexnet");
+  EXPECT_GT(run.offchip_bits(), 0u);
+
+  ExperimentRunner unconstrained(paper_opts());
+  const auto free_run = unconstrained.run_single("lm1b", "alexnet");
+  EXPECT_EQ(free_run.offchip_bits(), 0u);
+  EXPECT_EQ(free_run.stall_cycles(), 0u);
+
+  // Memory never changes compute: per-layer compute cycles agree exactly.
+  ASSERT_EQ(run.layers.size(), free_run.layers.size());
+  for (std::size_t i = 0; i < run.layers.size(); ++i) {
+    EXPECT_EQ(run.layers[i].compute_cycles, free_run.layers[i].compute_cycles)
+        << "layer " << i;
+  }
+}
+
+TEST(Runner, CapacityOverridesReachTheSimulators) {
+  // Starving the AM forces activation spills: traffic and stalls rise
+  // versus the default sizing on the same network.
+  RunnerOptions small;
+  small.am_bytes = 64 << 10;
+  small.wm_bytes = 128 << 10;
+  ExperimentRunner starved(small);
+  ExperimentRunner roomy{RunnerOptions{}};
+  const auto starved_run = starved.run_single("lm1b", "alexnet");
+  const auto roomy_run = roomy.run_single("lm1b", "alexnet");
+  EXPECT_GT(starved_run.offchip_bits(), roomy_run.offchip_bits());
+  EXPECT_GE(starved_run.stall_cycles(), roomy_run.stall_cycles());
+}
+
+TEST(Runner, CliFlagsMapToRunnerOptions) {
+  const char* argv[] = {"prog",           "--equiv=256",
+                        "--target=99",    "--model-offchip=false",
+                        "--am-kb=512",    "--wm-kb=1024",
+                        "--loom-bits=1,4", "--dstripes",
+                        "--jobs=3",       "--seed=7"};
+  const Options cli(10, argv);
+  const RunnerOptions opts = runner_options_from_cli(cli);
+  EXPECT_EQ(opts.equiv_macs, 256);
+  EXPECT_EQ(opts.target, quant::AccuracyTarget::k99);
+  EXPECT_FALSE(opts.model_offchip);
+  EXPECT_EQ(opts.am_bytes, 512 * 1024);
+  EXPECT_EQ(opts.wm_bytes, 1024 * 1024);
+  ASSERT_EQ(opts.loom_bits.size(), 2u);
+  EXPECT_EQ(opts.loom_bits[1], 4);
+  EXPECT_TRUE(opts.include_dstripes);
+  EXPECT_TRUE(opts.include_stripes);
+  EXPECT_EQ(opts.jobs, 3);
+  EXPECT_EQ(opts.seed, 7u);
+
+  // The historical --offchip spelling still works; defaults stay
+  // constrained when neither flag is given.
+  const char* legacy[] = {"prog", "--offchip=false"};
+  EXPECT_FALSE(runner_options_from_cli(Options(2, legacy)).model_offchip);
+  const char* none[] = {"prog"};
+  EXPECT_TRUE(runner_options_from_cli(Options(1, none)).model_offchip);
 }
 
 TEST(Options, ParsesFlagsAndLists) {

@@ -1,0 +1,407 @@
+// Tile scheduler invariants (mem/tile_plan) and the double-buffered
+// timeline (mem/timeline): coverage-exactly-once over the (window, filter,
+// chunk) space, capacity-respecting footprints, degenerate geometries, the
+// dataflow choice, and the pipeline's overlap/stall arithmetic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mem/bitpacked.hpp"
+#include "mem/tile_plan.hpp"
+#include "mem/timeline.hpp"
+
+namespace loom::mem {
+namespace {
+
+/// Every (conv group, window, filter) cell covered by exactly one tile
+/// block, every block's chunk sequence 0..n-1 exactly once, and the plan
+/// totals equal to the sum over tiles.
+void check_invariants(const TilePlanRequest& req, const TilePlan& plan) {
+  // Tile blocks keyed by (group, window_begin, filter_begin).
+  struct BlockSeen {
+    int chunks_seen = 0;
+    int chunk_count = 0;
+    std::int64_t weight_values = 0;
+    std::int64_t block_weights = 0;
+    std::int64_t cells = 0;
+  };
+  std::map<std::tuple<int, std::int64_t, std::int64_t>, BlockSeen> blocks;
+
+  std::int64_t act_fill = 0;
+  std::int64_t weight_fill = 0;
+  std::int64_t drains = 0;
+  for (const TileExtent& t : plan.tiles) {
+    ASSERT_GT(t.window_count(), 0);
+    ASSERT_GT(t.filter_count(), 0);
+    ASSERT_GE(t.window_begin, 0);
+    ASSERT_LE(t.window_end, req.windows);
+    ASSERT_GE(t.filter_begin, 0);
+    ASSERT_LE(t.filter_end, req.group_out_channels);
+    ASSERT_GE(t.conv_group, 0);
+    ASSERT_LT(t.conv_group, req.conv_groups);
+    // Footprints never exceed the capacities.
+    EXPECT_LE(t.act_footprint_bits, req.am_bits);
+    EXPECT_LE(t.weight_footprint_bits, req.wm_bits);
+    // Quantum alignment (interior boundaries only; tails may be short).
+    EXPECT_EQ(t.window_begin % req.window_quantum, 0);
+    EXPECT_EQ(t.filter_begin % req.filter_quantum, 0);
+
+    BlockSeen& b = blocks[{t.conv_group, t.window_begin, t.filter_begin}];
+    EXPECT_EQ(t.chunk, b.chunks_seen) << "chunk sequence out of order";
+    if (t.chunk == 0) {
+      b.chunk_count = t.chunk_count;
+      b.cells = t.window_count() * t.filter_count();
+      b.block_weights = t.filter_count() * req.inner_length;
+    }
+    ++b.chunks_seen;
+    b.weight_values += t.weight_values;
+
+    act_fill += t.act_fill_bits;
+    weight_fill += t.weight_fill_bits;
+    drains += t.out_drain_bits;
+  }
+  EXPECT_EQ(act_fill, plan.act_fill_bits);
+  EXPECT_EQ(weight_fill, plan.weight_fill_bits);
+  EXPECT_EQ(drains, plan.out_drain_bits);
+
+  // Each (group, slab, filter-range) block appears exactly once with its
+  // full chunk sequence, its chunks re-sum to the block's weights, and the
+  // distinct blocks tile the whole (window, filter) space exactly once.
+  std::int64_t cells = 0;
+  for (const auto& [key, b] : blocks) {
+    EXPECT_EQ(b.chunks_seen, b.chunk_count);
+    EXPECT_EQ(b.weight_values, b.block_weights)
+        << "weight-stream chunks must cover the block's weights exactly";
+    cells += b.cells;
+  }
+  EXPECT_EQ(cells,
+            static_cast<std::int64_t>(req.conv_groups) * req.windows *
+                req.group_out_channels)
+      << "every (window, filter) cell must be covered exactly once";
+}
+
+TilePlanRequest conv_request() {
+  TilePlanRequest req;
+  req.windows = 28 * 28;
+  req.out_w = 28;
+  req.conv_groups = 1;
+  req.group_out_channels = 128;
+  req.inner_length = 64 * 9;
+  req.group_in_channels = 64;
+  req.in_h = 28;
+  req.in_w = 28;
+  req.kernel_h = 3;
+  req.stride = 1;
+  req.pad = 1;
+  req.window_quantum = 16;
+  req.filter_quantum = 128;
+  req.act_precision = 9;
+  req.weight_precision = 11;
+  req.weights_bit_packed = true;
+  req.out_precision = 8;
+  req.am_bits = (1 << 20) * 8;
+  req.wm_bits = (2 << 20) * 8;
+  return req;
+}
+
+TEST(TilePlan, ResidentLayerIsOneTilePerGroup) {
+  const TilePlanRequest req = conv_request();
+  const TilePlan plan = build_tile_plan(req);
+  EXPECT_TRUE(plan.acts_resident);
+  EXPECT_TRUE(plan.weights_resident);
+  ASSERT_EQ(plan.tiles.size(), 1u);
+  // Weights still stream from DRAM exactly once; resident acts never do.
+  EXPECT_EQ(plan.act_fill_bits, 0);
+  EXPECT_EQ(plan.weight_fill_bits,
+            packed_bits(req.group_out_channels * req.inner_length, 11));
+  EXPECT_EQ(plan.out_drain_bits, 0);
+  check_invariants(req, plan);
+}
+
+TEST(TilePlan, AmSpillTilesWindowsAndDrainsOutputs) {
+  TilePlanRequest req = conv_request();
+  req.am_bits = 256 << 10;  // 32 KB: far below the layer's activations
+  const TilePlan plan = build_tile_plan(req);
+  EXPECT_FALSE(plan.acts_resident);
+  EXPECT_GT(plan.window_tiles, 1);
+  EXPECT_GT(plan.act_fill_bits, 0);
+  EXPECT_GT(plan.out_drain_bits, 0);
+  // Outputs drain once: windows x filters x out_precision.
+  EXPECT_EQ(plan.out_drain_bits,
+            req.windows * req.group_out_channels * req.out_precision);
+  check_invariants(req, plan);
+}
+
+TEST(TilePlan, WmSpillTilesFiltersOrChunksStream) {
+  TilePlanRequest req = conv_request();
+  req.group_out_channels = 512;
+  req.filter_quantum = 128;
+  req.wm_bits = 1 << 20;  // 128 KB
+  const TilePlan plan = build_tile_plan(req);
+  EXPECT_FALSE(plan.weights_resident);
+  EXPECT_GT(plan.filter_tiles, 1);
+  // Acts still resident: weights stream exactly once in total.
+  EXPECT_TRUE(plan.acts_resident);
+  std::int64_t streamed = 0;
+  for (const auto& t : plan.tiles) streamed += t.weight_values;
+  EXPECT_EQ(streamed, req.group_out_channels * req.inner_length);
+  check_invariants(req, plan);
+}
+
+TEST(TilePlan, FatFcChunksTheWeightStream) {
+  // VGG fc6 shape: one window, weights far beyond the WM.
+  TilePlanRequest req;
+  req.windows = 1;
+  req.out_w = 1;
+  req.group_out_channels = 4096;
+  req.inner_length = 25088;
+  req.group_in_channels = 25088;
+  req.window_quantum = 1;
+  req.filter_quantum = 2048;
+  req.act_precision = 16;
+  req.weight_precision = 6;
+  req.weights_bit_packed = true;
+  req.out_precision = 16;
+  req.am_bits = (1 << 20) * 8;
+  req.wm_bits = (2 << 20) * 8;
+  const TilePlan plan = build_tile_plan(req);
+  EXPECT_FALSE(plan.weights_resident);
+  EXPECT_TRUE(plan.acts_resident);
+  ASSERT_GT(plan.tiles.size(), 1u);
+  bool any_chunked = false;
+  for (const auto& t : plan.tiles) {
+    any_chunked |= t.chunk_count > 1;
+    EXPECT_LE(t.weight_footprint_bits, req.wm_bits / 2)
+        << "chunks must double-buffer through half the WM";
+  }
+  EXPECT_TRUE(any_chunked);
+  // The whole stream passes exactly once (acts resident -> single slab).
+  std::int64_t streamed = 0;
+  for (const auto& t : plan.tiles) streamed += t.weight_values;
+  EXPECT_EQ(streamed, req.group_out_channels * req.inner_length);
+  check_invariants(req, plan);
+}
+
+TEST(TilePlan, DegenerateGeometriesProduceValidPlans) {
+  // 1x1 kernel, no padding.
+  {
+    TilePlanRequest req = conv_request();
+    req.kernel_h = 1;
+    req.pad = 0;
+    req.inner_length = 64;
+    check_invariants(req, build_tile_plan(req));
+  }
+  // Pad-heavy 5x5 with stride 3 and an asymmetric tail.
+  {
+    TilePlanRequest req = conv_request();
+    req.in_h = 13;
+    req.in_w = 13;
+    req.out_w = 5;
+    req.windows = 25;
+    req.kernel_h = 5;
+    req.stride = 3;
+    req.pad = 2;
+    req.inner_length = 64 * 25;
+    req.am_bits = 112 << 10;  // one 16-window slab nearly fills it
+    check_invariants(req, build_tile_plan(req));
+  }
+  // Grouped conv with non-divisible window tail.
+  {
+    TilePlanRequest req = conv_request();
+    req.conv_groups = 4;
+    req.group_in_channels = 16;
+    req.group_out_channels = 24;  // not a multiple of the quantum
+    req.filter_quantum = 16;
+    req.windows = 27 * 27;
+    req.out_w = 27;
+    req.in_h = 27;
+    req.in_w = 27;
+    req.inner_length = 16 * 9;
+    req.am_bits = 32 << 10;
+    const TilePlan plan = build_tile_plan(req);
+    check_invariants(req, plan);
+  }
+  // FC with a single output block.
+  {
+    TilePlanRequest req;
+    req.windows = 1;
+    req.out_w = 1;
+    req.group_out_channels = 10;
+    req.inner_length = 48;
+    req.group_in_channels = 48;
+    req.window_quantum = 1;
+    req.filter_quantum = 2048;
+    req.am_bits = 8 << 10;
+    req.wm_bits = 8 << 10;
+    const TilePlan plan = build_tile_plan(req);
+    EXPECT_EQ(plan.tiles.size(), 1u);
+    check_invariants(req, plan);
+  }
+}
+
+TEST(TilePlan, RandomizedInvariantSweep) {
+  SequentialRng rng(20260726);
+  int planned = 0;
+  for (int it = 0; it < 300; ++it) {
+    TilePlanRequest req;
+    req.conv_groups = 1 + static_cast<int>(rng.next_below(3));
+    req.group_out_channels = 1 + static_cast<std::int64_t>(rng.next_below(200));
+    req.group_in_channels = 1 + static_cast<std::int64_t>(rng.next_below(48));
+    req.in_h = 1 + static_cast<std::int64_t>(rng.next_below(30));
+    req.in_w = 1 + static_cast<std::int64_t>(rng.next_below(30));
+    req.kernel_h = 1 + static_cast<int>(rng.next_below(5));
+    req.stride = 1 + static_cast<int>(rng.next_below(3));
+    req.pad = static_cast<int>(rng.next_below(3));
+    const std::int64_t out_h =
+        (req.in_h + 2 * req.pad - req.kernel_h) / req.stride + 1;
+    const std::int64_t out_w =
+        (req.in_w + 2 * req.pad - req.kernel_h) / req.stride + 1;
+    if (out_h < 1 || out_w < 1) continue;
+    req.out_w = out_w;
+    req.windows = out_h * out_w;
+    req.inner_length = req.group_in_channels * req.kernel_h * req.kernel_h;
+    req.window_quantum = 16;
+    req.filter_quantum = 1 + static_cast<std::int64_t>(rng.next_below(64));
+    req.act_precision = 1 + static_cast<int>(rng.next_below(16));
+    req.weight_precision = 1 + static_cast<int>(rng.next_below(16));
+    req.weights_bit_packed = rng.next_below(2) != 0;
+    req.out_precision = 1 + static_cast<int>(rng.next_below(16));
+    req.am_bits = std::int64_t{1} << (12 + rng.next_below(12));
+    req.wm_bits = std::int64_t{1} << (12 + rng.next_below(12));
+    // Dynamic per-block precisions on half the cases.
+    if (rng.next_below(2) != 0) {
+      const std::int64_t blocks = ceil_div(req.windows, req.window_quantum);
+      req.act_block_precision.assign(
+          static_cast<std::size_t>(req.conv_groups * blocks), 0);
+      for (auto& p : req.act_block_precision) {
+        p = 1 + static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(req.act_precision)));
+      }
+    }
+    TilePlan plan;
+    try {
+      plan = build_tile_plan(req);
+    } catch (const ContractViolation&) {
+      continue;  // AM below a single minimum slab: a rejected sizing
+    }
+    ++planned;
+    check_invariants(req, plan);
+  }
+  EXPECT_GT(planned, 100) << "the sweep should mostly produce valid plans";
+}
+
+TEST(TilePlan, DynamicPrecisionShrinksFillsNeverFootprints) {
+  TilePlanRequest req = conv_request();
+  req.am_bits = 256 << 10;  // spill so fills exist
+  const TilePlan static_plan = build_tile_plan(req);
+
+  const std::int64_t blocks = ceil_div(req.windows, req.window_quantum);
+  req.act_block_precision.assign(static_cast<std::size_t>(blocks), 5);
+  const TilePlan dyn_plan = build_tile_plan(req);
+
+  EXPECT_LT(dyn_plan.act_fill_bits, static_plan.act_fill_bits);
+  EXPECT_EQ(dyn_plan.tiles.size(), static_plan.tiles.size())
+      << "packing precision must not change the tiling, only the traffic";
+}
+
+TEST(TilePlan, InvalidRequestsThrow) {
+  TilePlanRequest req = conv_request();
+  req.am_bits = 0;
+  EXPECT_THROW((void)build_tile_plan(req), ContractViolation);
+  req = conv_request();
+  req.act_precision = 17;
+  EXPECT_THROW((void)build_tile_plan(req), ContractViolation);
+  req = conv_request();
+  req.act_block_precision = {5};  // wrong extent
+  EXPECT_THROW((void)build_tile_plan(req), ContractViolation);
+}
+
+// ---- MemoryTimeline -------------------------------------------------------
+
+TEST(Timeline, FullyOverlappedFillsCauseNoSteadyStateStall) {
+  MemoryTimeline tl;
+  tl.begin_layer();
+  // First tile: cold fill is exposed. After that, fills (10) hide under
+  // compute (100).
+  for (int i = 0; i < 8; ++i) tl.add_tile(10, 0, 0, 100);
+  const auto stats = tl.end_layer();
+  EXPECT_EQ(stats.tiles, 8u);
+  EXPECT_EQ(stats.stall_cycles, 10u);  // cold start only
+  EXPECT_EQ(stats.stalled_tiles, 1u);
+  EXPECT_EQ(tl.finish(), 0u);
+}
+
+TEST(Timeline, BandwidthBoundTilesStallByTheDeficit) {
+  MemoryTimeline tl;
+  tl.begin_layer();
+  for (int i = 0; i < 4; ++i) tl.add_tile(100, 0, 0, 30);
+  const auto stats = tl.end_layer();
+  // Tile 0 exposes its full fill; each later tile stalls fill - compute.
+  EXPECT_EQ(stats.stall_cycles, 100u + 3 * 70u);
+  EXPECT_EQ(stats.max_tile_stall, 100u);
+  EXPECT_EQ(stats.stalled_tiles, 4u);
+}
+
+TEST(Timeline, WeightPrefetchCrossesLayersActFillsDoNot) {
+  MemoryTimeline tl;
+  tl.begin_layer();
+  tl.add_tile(10, 0, 0, 1000);  // long compute leaves the channel idle
+  (void)tl.end_layer();
+
+  // Next layer's weight fill hides entirely under the previous compute...
+  tl.begin_layer();
+  tl.add_tile(50, 0, 0, 10);
+  const auto prefetched = tl.end_layer();
+  EXPECT_EQ(prefetched.stall_cycles, 0u);
+
+  // ...but an activation fill must wait for the producer to retire.
+  MemoryTimeline tl2;
+  tl2.begin_layer();
+  tl2.add_tile(10, 0, 0, 1000);
+  (void)tl2.end_layer();
+  tl2.begin_layer();
+  tl2.add_tile(0, 50, 0, 10);
+  const auto dependent = tl2.end_layer();
+  EXPECT_EQ(dependent.stall_cycles, 50u);
+}
+
+TEST(Timeline, FillsNeverRunMoreThanOneTileAhead) {
+  // Double buffering means tile i's fill reuses the buffer tile i-2
+  // computed from: with fills {10, 10, 1000} and compute 100, the third
+  // fill cannot start before the first compute retires at cycle 110 —
+  // an unbounded channel would have started it at cycle 20.
+  MemoryTimeline tl;
+  tl.begin_layer();
+  tl.add_tile(10, 0, 0, 100);    // fill 0..10, compute 10..110
+  tl.add_tile(10, 0, 0, 100);    // fill 10..20, compute 110..210
+  tl.add_tile(1000, 0, 0, 100);  // fill gated to 110..1110, not 20..1020
+  const auto stats = tl.end_layer();
+  // Stalls: 10 (cold) + 0 + (1110 - 210) = 910.
+  EXPECT_EQ(stats.stall_cycles, 10u + 900u);
+  EXPECT_EQ(stats.max_tile_stall, 900u);
+}
+
+TEST(Timeline, DrainsDeferBehindNextFillAndFlushAtFinish) {
+  MemoryTimeline tl;
+  tl.begin_layer();
+  tl.add_tile(10, 0, 40, 20);   // drain queued, not yet on the channel
+  tl.add_tile(10, 0, 0, 1000);  // fill goes first (read priority)
+  const auto stats = tl.end_layer();
+  // Tile 1's fill starts right after tile 0's (cycle 20), never behind the
+  // 40-cycle drain; no stall beyond tile 0's cold fill.
+  EXPECT_EQ(stats.stall_cycles, 10u);
+  EXPECT_EQ(tl.finish(), 0u);  // drain finished during the long compute
+
+  MemoryTimeline tl2;
+  tl2.begin_layer();
+  tl2.add_tile(10, 0, 40, 20);  // drain after the last compute
+  (void)tl2.end_layer();
+  EXPECT_EQ(tl2.finish(), 40u);  // tail exposed at the end of the run
+}
+
+}  // namespace
+}  // namespace loom::mem
