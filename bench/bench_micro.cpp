@@ -5,6 +5,7 @@
 // BENCH_micro.json for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <vector>
 
 #include "core/loom.hpp"
@@ -91,6 +92,28 @@ void BM_LoomLayerSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LoomLayerSimulation);
+
+void BM_LaconicConvLayer(benchmark::State& state) {
+  // The same mid-size conv layer through the term-serial cycle model.
+  // Laconic is always dynamic (the config rejects anything else), so one
+  // warm-up run pays the calibration + term-table fill and the loop times
+  // the steady-state table sweep.
+  nn::Network net("bench", nn::Shape3{64, 28, 28});
+  net.add_conv("c", 128, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "bench";
+  p.conv_act = {9};
+  p.conv_weight = 11;
+  p.dynamic_act_trim = 1.5;
+  quant::apply_profile(net, p);
+  sim::NetworkWorkload wl(std::move(net), p);
+  auto sim = sim::make_laconic_simulator(arch::LaconicConfig{}, sim::SimOptions{});
+  benchmark::DoNotOptimize(sim->run(wl));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->run(wl));
+  }
+}
+BENCHMARK(BM_LaconicConvLayer);
 
 void BM_WorkloadGroupPrecision(benchmark::State& state) {
   nn::Network net("bench", nn::Shape3{64, 28, 28});
@@ -196,6 +219,29 @@ void BM_GroupPrecisionBruteScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_GroupPrecisionBruteScan);
+
+void BM_TermCountQuery(benchmark::State& state) {
+  // The term-serial analog of BM_GroupPrecisionColdQuery: OR `cols`
+  // contiguous plane entries + popcount (essential planes) instead of
+  // leading-one detection (positional precision). Same plane data, so the
+  // delta to the precision query is the popcount itself.
+  const nn::Layer layer = plane_layer();
+  const nn::Tensor input = plane_input(layer);
+  sim::ActOrPlanes planes(layer, 16);
+  planes.build(input);
+  const std::uint32_t mask = (std::uint32_t{1} << layer.act_precision) - 1u;
+  const std::int64_t wb_count = ceil_div(planes.windows(), 16);
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    const std::int64_t wb = k % wb_count;
+    const std::int64_t ic = (k / wb_count) % planes.ic_count();
+    ++k;
+    benchmark::DoNotOptimize(std::popcount(
+        static_cast<std::uint32_t>(planes.group_or(0, ic, wb, 16)) & mask));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TermCountQuery);
 
 void BM_PrecisionTableSweep(benchmark::State& state) {
   // Steady state of simulate_conv: fetch the bulk table and read every

@@ -44,6 +44,29 @@ std::string LoomConfig::to_string() const {
   return out.str();
 }
 
+void LaconicConfig::validate() const {
+  if (lanes <= 0 || equiv_macs <= 0) {
+    throw ConfigError("LaconicConfig: lanes and equiv_macs must be positive");
+  }
+  if (!dynamic_act_precision) {
+    // Term counts are popcounts over the detector's OR planes; without the
+    // detector there is nothing to count and the design degenerates to LM1b.
+    throw ConfigError(
+        "LaconicConfig: term-serial operation requires the dynamic "
+        "precision detector (dynamic_act_precision)");
+  }
+}
+
+std::string LaconicConfig::name() const { return "Laconic"; }
+
+std::string LaconicConfig::to_string() const {
+  std::ostringstream out;
+  out << name() << "(E=" << equiv_macs << ", " << rows() << "x" << cols()
+      << " SIPs, " << lanes << " lanes, term-serial"
+      << (linear_term_scaling ? ", linear-estimate" : "") << ")";
+  return out.str();
+}
+
 void StripesConfig::validate() const {
   if (lanes <= 0 || windows <= 0 || equiv_macs <= 0 || equiv_macs % lanes != 0) {
     throw ConfigError("StripesConfig: equiv_macs must be a positive multiple of lanes");

@@ -66,6 +66,41 @@ struct LoomConfig {
   void validate() const;
 };
 
+/// Laconic-style term-serial design (Pragmatic/Laconic lineage, the §6
+/// future-work direction): same rows() x cols() SIP grid as LM1b, but each
+/// SIP lane processes one effectual activation-term x weight-term pair per
+/// cycle instead of one bit-plane pair. Term counts are popcounts of the
+/// essential bit-planes — zero bits cost nothing — and a group sequencer
+/// synchronizes the 16 lanes of a SIP (and the 256-activation detection
+/// group) at the slowest lane: the group walks every digit position present
+/// in *any* lane.
+struct LaconicConfig {
+  int equiv_macs = 128;
+  int lanes = 16;  ///< term pairs per SIP per cycle
+
+  bool dynamic_act_precision = true;  ///< runtime per-group trimming [5]
+  bool cascading = true;              ///< SIP daisy-chaining for small layers
+
+  /// Estimate mode for bench_sparsity's "estimate vs measured" column: scale
+  /// cycles linearly with the mean NAF terms *per weight* (every lane
+  /// independent), ignoring group synchronization — the same optimistic
+  /// arithmetic the old linear-scaling estimates applied. Off = measured
+  /// synchronized-group term counts.
+  bool linear_term_scaling = false;
+
+  [[nodiscard]] int rows() const noexcept { return equiv_macs; }
+  [[nodiscard]] int cols() const noexcept { return kBasePrecision; }
+  [[nodiscard]] int sips() const noexcept { return rows() * cols(); }
+  /// Activation detection group (matches LM1b's 256 at E=128).
+  [[nodiscard]] int act_group() const noexcept { return lanes * kBasePrecision; }
+  /// Weight term-sequencer group (16 weights share one sequencer).
+  [[nodiscard]] int weight_group() const noexcept { return lanes; }
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] std::string to_string() const;
+  void validate() const;
+};
+
 /// Stripes: bit-serial activations, bit-parallel weights; 16 concurrent
 /// windows per filter, so its filter parallelism matches DPNN's and its
 /// relative performance is insensitive to E (Figure 5). DStripes adds the

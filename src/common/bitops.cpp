@@ -56,6 +56,11 @@ bool fits_unsigned(std::uint32_t v, int bits) noexcept {
   return v <= ((std::uint64_t{1} << bits) - 1);
 }
 
+int naf_term_count(std::uint32_t mag) noexcept {
+  const NafDigits d = naf_digits(mag);
+  return std::popcount(d.plus) + std::popcount(d.minus);
+}
+
 Wide saturate_signed(Wide v, int bits) noexcept {
   const Wide lo = -(Wide{1} << (bits - 1));
   const Wide hi = (Wide{1} << (bits - 1)) - 1;

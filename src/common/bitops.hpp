@@ -70,4 +70,25 @@ inline constexpr int kBasePrecision = 16;
   return (a + b - 1) / b;
 }
 
+/// Bit positions of the positive (`+2^k`) and negative (`-2^k`) digits of
+/// the non-adjacent form of `mag` — the same dp/dm decomposition the
+/// bit-sliced engine's naf_decode applies when it enumerates effectual
+/// weight terms. Requires mag < 2^30 (one headroom bit for mag + 2*mag).
+struct NafDigits {
+  std::uint32_t plus = 0;
+  std::uint32_t minus = 0;
+  [[nodiscard]] std::uint32_t positions() const noexcept { return plus | minus; }
+};
+
+[[nodiscard]] inline NafDigits naf_digits(std::uint32_t mag) noexcept {
+  const std::uint32_t m3 = mag + (mag << 1);
+  return {(m3 & ~mag) >> 1, (mag & ~m3) >> 1};
+}
+
+/// Number of nonzero NAF digits of `mag` — the effectual term count a
+/// term-serial (Laconic-style) weight lane spends on the value. Zero has no
+/// terms; callers that model a synchronized sequencer clamp group counts to
+/// one cycle themselves.
+[[nodiscard]] int naf_term_count(std::uint32_t mag) noexcept;
+
 }  // namespace loom

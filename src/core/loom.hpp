@@ -42,6 +42,7 @@
 #include "quant/profiler.hpp"
 #include "quant/profiles.hpp"
 #include "sim/comparison.hpp"
+#include "sim/laconic_sim.hpp"
 #include "sim/result.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workload.hpp"

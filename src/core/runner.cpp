@@ -29,7 +29,9 @@ std::unique_ptr<sim::Simulator> ExperimentRunner::make_baseline() const {
 
 std::size_t ExperimentRunner::roster_size() const noexcept {
   return static_cast<std::size_t>(opts_.include_stripes) +
-         static_cast<std::size_t>(opts_.include_dstripes) + opts_.loom_bits.size();
+         static_cast<std::size_t>(opts_.include_dstripes) +
+         opts_.loom_bits.size() +
+         static_cast<std::size_t>(opts_.include_laconic);
 }
 
 std::unique_ptr<sim::Simulator> ExperimentRunner::make_roster_entry(
@@ -55,11 +57,17 @@ std::unique_ptr<sim::Simulator> ExperimentRunner::make_roster_entry(
     }
     --index;
   }
-  arch::LoomConfig l;
-  l.equiv_macs = opts_.equiv_macs;
-  l.bits_per_cycle = opts_.loom_bits[index];
-  l.per_group_weights = opts_.per_group_weights;
-  return sim::make_loom_simulator(l, sim_opts);
+  if (index < opts_.loom_bits.size()) {
+    arch::LoomConfig l;
+    l.equiv_macs = opts_.equiv_macs;
+    l.bits_per_cycle = opts_.loom_bits[index];
+    l.per_group_weights = opts_.per_group_weights;
+    return sim::make_loom_simulator(l, sim_opts);
+  }
+  // Laconic rides last so the Stripes/Loom roster indices are unchanged.
+  arch::LaconicConfig lc;
+  lc.equiv_macs = opts_.equiv_macs;
+  return sim::make_laconic_simulator(lc, sim_opts);
 }
 
 std::vector<std::unique_ptr<sim::Simulator>> ExperimentRunner::make_roster() const {
@@ -166,6 +174,10 @@ sim::RunResult ExperimentRunner::run_single(const std::string& arch_key,
     cfg.bits_per_cycle = arch_key[2] - '0';
     cfg.per_group_weights = opts_.per_group_weights;
     sim = sim::make_loom_simulator(cfg, sim_opts);
+  } else if (arch_key == "laconic") {
+    arch::LaconicConfig cfg;
+    cfg.equiv_macs = opts_.equiv_macs;
+    sim = sim::make_laconic_simulator(cfg, sim_opts);
   } else {
     throw ConfigError("unknown architecture key: " + arch_key);
   }
@@ -190,6 +202,7 @@ RunnerOptions runner_options_from_cli(const Options& cli) {
   opts.jobs = static_cast<int>(cli.get_int("jobs", opts.jobs));
   opts.include_stripes = !cli.get_bool("no-stripes", false);
   opts.include_dstripes = cli.get_bool("dstripes", opts.include_dstripes);
+  opts.include_laconic = !cli.get_bool("no-laconic", false);
   if (cli.has("loom-bits")) {
     opts.loom_bits.clear();
     for (const std::string& b : cli.get_list("loom-bits", {})) {

@@ -35,6 +35,9 @@ struct RunnerOptions {
   bool include_stripes = true;
   bool include_dstripes = false;
   std::vector<int> loom_bits = {1, 2, 4};  ///< which LMxb variants to run
+  /// Term-serial (Laconic-style) simulator as the roster's last entry — the
+  /// §6 weight-sparsity extension measured instead of estimated.
+  bool include_laconic = true;
 
   /// Worker threads used by compare() to simulate (arch × network) cells
   /// concurrently. 1 runs serially; values <= 0 use
@@ -54,8 +57,8 @@ class ExperimentRunner {
       const std::vector<std::string>& networks = {});
 
   /// Run one architecture by display key ("dpnn", "stripes", "dstripes",
-  /// "lm1b", "lm2b", "lm4b") over one network; used by examples/benches
-  /// needing raw RunResults.
+  /// "lm1b", "lm2b", "lm4b", "laconic") over one network; used by
+  /// examples/benches needing raw RunResults.
   [[nodiscard]] sim::RunResult run_single(const std::string& arch_key,
                                           const std::string& network);
 
@@ -93,7 +96,7 @@ class ExperimentRunner {
 /// Parse the standard sweep flags into RunnerOptions, shared by the CLI
 /// binaries: --equiv, --target(100|99), --per-group-weights,
 /// --model-offchip / --offchip, --am-kb, --wm-kb, --jobs, --seed,
-/// --loom-bits, --dstripes, --no-stripes.
+/// --loom-bits, --dstripes, --no-stripes, --no-laconic.
 [[nodiscard]] RunnerOptions runner_options_from_cli(const Options& cli);
 
 }  // namespace loom::core

@@ -9,6 +9,8 @@ void Activity::merge(const Activity& other) noexcept {
   sip_idle_lane_cycles += other.sip_idle_lane_cycles;
   stripes_idle_lane_cycles += other.stripes_idle_lane_cycles;
   mac_idle_cycles += other.mac_idle_cycles;
+  laconic_lane_term_ops += other.laconic_lane_term_ops;
+  laconic_idle_lane_cycles += other.laconic_idle_lane_cycles;
   wr_bits_loaded += other.wr_bits_loaded;
   detector_values += other.detector_values;
   transposer_bits += other.transposer_bits;

@@ -18,6 +18,10 @@ struct Activity {
   std::uint64_t sip_idle_lane_cycles = 0;
   std::uint64_t stripes_idle_lane_cycles = 0;
   std::uint64_t mac_idle_cycles = 0;
+  /// Term-serial (Laconic-style) lanes: effectual term-pair operations and
+  /// lane-cycles spent synchronized-idle waiting for the group's slowest lane.
+  std::uint64_t laconic_lane_term_ops = 0;
+  std::uint64_t laconic_idle_lane_cycles = 0;
   std::uint64_t wr_bits_loaded = 0;     ///< weight-register bit loads
   std::uint64_t detector_values = 0;    ///< values inspected by the precision unit
   std::uint64_t transposer_bits = 0;    ///< output bits rotated for packed AM

@@ -44,6 +44,22 @@ AreaBreakdown loom_area(const arch::LoomConfig& cfg,
   return a;
 }
 
+AreaBreakdown laconic_area(const arch::LaconicConfig& cfg,
+                           const mem::MemorySystemConfig& mem,
+                           const AreaCoefficients& c) {
+  AreaBreakdown a;
+  a.compute_mm2 = static_cast<double>(cfg.sips()) * c.laconic_sip_mm2;
+  // Same detector granularity as LM1b (the term counts come out of the same
+  // OR planes), plus transposer and dispatcher for the serialized streams.
+  const double detector_groups =
+      static_cast<double>(cfg.lanes * cfg.cols()) / 256.0;
+  a.support_mm2 = detector_groups * c.detector_mm2_per_256 + c.transposer_mm2 +
+                  c.dispatcher_mm2;
+  a.sram_mm2 = buffers_mm2(mem, c);
+  a.edram_mm2 = edram_mm2(mem, c);
+  return a;
+}
+
 AreaBreakdown stripes_area(const arch::StripesConfig& cfg,
                            const mem::MemorySystemConfig& mem,
                            const AreaCoefficients& c) {

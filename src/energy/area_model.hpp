@@ -39,4 +39,8 @@ struct AreaBreakdown {
                                          const mem::MemorySystemConfig& mem,
                                          const AreaCoefficients& c = default_area_coefficients());
 
+[[nodiscard]] AreaBreakdown laconic_area(const arch::LaconicConfig& cfg,
+                                         const mem::MemorySystemConfig& mem,
+                                         const AreaCoefficients& c = default_area_coefficients());
+
 }  // namespace loom::energy

@@ -29,6 +29,11 @@ struct EnergyCoefficients {
   double sip_idle_lane_pj = 0.0040;
   double stripes_idle_lane_pj = 0.045;
   double mac_idle_pj = 0.50;
+  // Term-serial lane: an effectual term op is an exponent add plus a shifted
+  // accumulate — costlier than a Loom 1b lane-bit (it moves a 4b exponent and
+  // steers a shifter) but far fewer of them fire.
+  double laconic_lane_term_pj = 0.045;
+  double laconic_idle_lane_pj = 0.0045;
   double detector_value_pj = 0.020;///< OR-tree + leading-one detect, per value inspected
   double transposer_bit_pj = 0.0025;
 
@@ -55,6 +60,10 @@ struct AreaCoefficients {
   double sip_base_mm2 = 0.00020;   ///< SIP shared part (AC1/AC2/OR, control)
   double sip_per_bit_mm2 = 0.00075;///< per bit/cycle: ANDs + tree slice + WRs
   double stripes_unit_mm2 = 0.00095;///< 1b x 16b serial lane incl. weight reg bit share
+  /// Term-serial SIP (16 lanes): exponent adders, shifters and the group
+  /// term sequencer roughly double a 1b SIP (Laconic reports ~2x PE area
+  /// for the term-serial datapath at the same lane count).
+  double laconic_sip_mm2 = 0.0018;
   double detector_mm2_per_256 = 0.012; ///< dynamic precision unit per 256-value group
   double transposer_mm2 = 0.05;
   double dispatcher_mm2 = 0.08;    ///< serial data marshalling (Loom/Stripes)

@@ -19,7 +19,9 @@ EnergyBreakdown EnergyModel::evaluate(const Activity& a) const noexcept {
       static_cast<double>(a.stripes_lane_ops) * coeffs_.stripes_lane_pj +
       static_cast<double>(a.sip_idle_lane_cycles) * coeffs_.sip_idle_lane_pj +
       static_cast<double>(a.stripes_idle_lane_cycles) * coeffs_.stripes_idle_lane_pj +
-      static_cast<double>(a.mac_idle_cycles) * coeffs_.mac_idle_pj;
+      static_cast<double>(a.mac_idle_cycles) * coeffs_.mac_idle_pj +
+      static_cast<double>(a.laconic_lane_term_ops) * coeffs_.laconic_lane_term_pj +
+      static_cast<double>(a.laconic_idle_lane_cycles) * coeffs_.laconic_idle_lane_pj;
   e.registers_pj = static_cast<double>(a.wr_bits_loaded) * coeffs_.wr_load_bit_pj;
   e.detector_pj = static_cast<double>(a.detector_values) * coeffs_.detector_value_pj;
   e.transposer_pj = static_cast<double>(a.transposer_bits) * coeffs_.transposer_bit_pj;

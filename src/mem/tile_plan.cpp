@@ -1,6 +1,7 @@
 #include "mem/tile_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "mem/bitpacked.hpp"
@@ -12,6 +13,12 @@ namespace {
 /// DRAM/WM bits for `values` weights under the request's layout.
 std::int64_t weight_layout_bits(const TilePlanRequest& req, std::int64_t values) {
   if (values <= 0) return 0;
+  if (req.weight_mean_plane_bits > 0.0) {
+    // Essential-plane packing: groups drop their all-zero bit-planes, so
+    // footprints shrink to the measured mean occupancy (incl. metadata).
+    return static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(values) * req.weight_mean_plane_bits));
+  }
   return req.weights_bit_packed ? packed_bits(values, req.weight_precision)
                                 : parallel_bits(values);
 }
@@ -118,6 +125,14 @@ TilePlan build_tile_plan(const TilePlanRequest& req) {
   LOOM_EXPECTS(req.act_precision >= 1 && req.act_precision <= kBasePrecision);
   LOOM_EXPECTS(req.weight_precision >= 1 &&
                req.weight_precision <= kBasePrecision);
+  // Essential-plane packing only makes sense for a bit-packed layout. The
+  // bound allows the worst case of dense full-precision weights: all 16
+  // magnitude planes essential plus the sign pass and presence bitmap.
+  LOOM_EXPECTS(req.weight_mean_plane_bits >= 0.0 &&
+               (req.weight_mean_plane_bits == 0.0 ||
+                (req.weights_bit_packed &&
+                 req.weight_mean_plane_bits <=
+                     static_cast<double>(kBasePrecision) + 2.0)));
   LOOM_EXPECTS(req.out_precision >= 1 && req.out_precision <= kBasePrecision);
   LOOM_EXPECTS(req.am_bits > 0 && req.wm_bits > 0);
   LOOM_EXPECTS(req.act_block_precision.empty() ||

@@ -100,6 +100,13 @@ struct TilePlanRequest {
   std::vector<int> act_block_precision;
   int weight_precision = kBasePrecision;
   bool weights_bit_packed = false;  ///< packed_bits vs parallel_bits layout
+  /// Optional essential-plane packing (sparse weight skipping): mean bits a
+  /// weight occupies in DRAM/WM when groups store only the bit-planes in
+  /// which some weight has a one, plus the plane-presence metadata. 0 keeps
+  /// the dense weight_precision layout. Footprints are priced at
+  /// ceil(values * mean) — fractional because the plane count varies per
+  /// group while the planner works in whole-tile value counts.
+  double weight_mean_plane_bits = 0.0;
   int out_precision = kBasePrecision;
 
   // Capacities (bits).

@@ -73,6 +73,7 @@ void TimingCore::apply(LayerResult& r, LayerWorkload& lw,
   req.act_precision = storage.act_precision;
   req.weight_precision = storage.weight_precision;
   req.weights_bit_packed = storage.weights_bit_packed;
+  req.weight_mean_plane_bits = storage.weight_mean_plane_bits;
   req.out_precision = storage.out_precision;
   req.am_bits = mem_.config().am_bytes * 8;
   req.wm_bits = mem_.config().wm_bytes * 8;

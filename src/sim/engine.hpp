@@ -27,6 +27,10 @@ struct LayerStorage {
   bool act_dynamic = false;  ///< pack slabs at the detected per-block precision
   int weight_precision = kBasePrecision;
   bool weights_bit_packed = false;  ///< Loom's packed WM layout vs 16-bit rows
+  /// Mean bits per weight under essential-plane packing (sparse weight
+  /// skipping); 0 keeps the dense weight_precision layout. Forwarded to
+  /// TilePlanRequest::weight_mean_plane_bits.
+  double weight_mean_plane_bits = 0.0;
   int out_precision = kBasePrecision;
 
   /// Tile quanta matching the architecture's concurrency (see tile_plan).

@@ -1,0 +1,385 @@
+#include "sim/laconic_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/bitslice_engine.hpp"
+#include "sim/loom_sim.hpp"
+#include "sim/or_planes.hpp"
+
+namespace loom::sim {
+
+LaconicSimulator::LaconicSimulator(const arch::LaconicConfig& cfg,
+                                   const SimOptions& opts)
+    : cfg_(cfg), opts_(opts) {
+  cfg_.validate();
+}
+
+std::string LaconicSimulator::name() const { return cfg_.to_string(); }
+
+double LaconicSimulator::timing_weight_terms(LayerWorkload& lw) const {
+  const LayerWorkload::WeightTermStats stats = lw.naf_weight_terms();
+  // Estimate mode reproduces the old linear-scaling arithmetic: every lane
+  // skips its own zero digits for free, no group synchronization. The
+  // measured mode charges the synchronized sequencer walk.
+  return cfg_.linear_term_scaling ? stats.mean_per_weight
+                                  : stats.synced_per_group;
+}
+
+LayerResult LaconicSimulator::simulate_conv(LayerWorkload& lw) const {
+  const nn::Layer& layer = lw.layer();
+  LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.macs = layer.macs();
+
+  const int rows = cfg_.rows();
+  const int cols = cfg_.cols();
+  const int lanes = cfg_.lanes;
+
+  const double wt = timing_weight_terms(lw);
+  // Effectual ops fire at the per-weight mean regardless of how long the
+  // synchronized walk takes; the difference shows up as idle lane slots.
+  const double wt_effectual = lw.naf_weight_terms().mean_per_weight;
+  const std::int64_t windows = layer.windows();
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t wb_count = ceil_div(windows, cols);
+  const std::int64_t ic_count = ceil_div(inner, lanes);
+
+  // Both tables come from the same OR planes at the same 16-window detector
+  // granularity: term counts drive the cycles, detected precisions drive
+  // the positional AM/ABin accounting (storage cannot address terms).
+  const ActTermTable term_table = lw.act_group_term_table(16);
+  const ActPrecisionTable pa_table = lw.act_group_precision_table(16);
+  LOOM_EXPECTS(ic_count <= term_table.ic_count());
+
+  double cycles = 0.0;
+  double term_ops = 0.0;
+  double ta_weighted = 0.0;
+  std::uint64_t chunks = 0;
+
+  for (int g = 0; g < layer.groups; ++g) {
+    const std::int64_t cog = layer.group_out_channels();
+    const std::int64_t fb = ceil_div(cog, rows);
+    const auto dcog = static_cast<double>(cog);
+    // Weights stream dense from the WM at the profile precision; the PE
+    // extracts the NAF digits on the fly (hoisted, invariant per chunk).
+    r.activity.wm_read_bits +=
+        static_cast<std::uint64_t>(dcog * static_cast<double>(lanes) *
+                                   static_cast<double>(layer.weight_precision)) *
+        static_cast<std::uint64_t>(wb_count * ic_count);
+    for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+      const std::int64_t cols_used =
+          std::min<std::int64_t>(cols, windows - wb * cols);
+      r.activity.wr_bits_loaded +=
+          static_cast<std::uint64_t>(
+              dcog * static_cast<double>(cols_used * lanes) *
+              static_cast<double>(layer.weight_precision)) *
+          static_cast<std::uint64_t>(ic_count);
+      r.activity.detector_values +=
+          static_cast<std::uint64_t>(cols_used * inner);
+      for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+        const std::int64_t lanes_used =
+            std::min<std::int64_t>(lanes, inner - ic * lanes);
+        const int ta = term_table.at(g, (wb * cols) / 16, ic);
+        const int pa = pa_table.at(g, (wb * cols) / 16, ic);
+        const double chunk_cycles = static_cast<double>(ta) * wt;
+
+        cycles += chunk_cycles * static_cast<double>(fb);
+        ta_weighted += ta;
+        ++chunks;
+
+        // Effectual term-pair operations over the active lanes (summed over
+        // the fb filter blocks the active rows equal cog exactly).
+        term_ops += dcog * static_cast<double>(cols_used * lanes_used) *
+                    static_cast<double>(ta) * wt_effectual;
+        // Serialized activation terms broadcast per synchronized pass.
+        r.activity.abin_read_bits += static_cast<std::uint64_t>(
+            static_cast<double>(cols_used * lanes * ta) * wt *
+            static_cast<double>(fb));
+        // AM -> ABin fetch stays positional at the detected precision.
+        const std::uint64_t am_bits =
+            static_cast<std::uint64_t>(cols_used * lanes_used * pa * fb);
+        r.activity.am_read_bits += am_bits;
+        r.activity.abin_write_bits += am_bits;
+      }
+    }
+  }
+
+  r.compute_cycles =
+      static_cast<std::uint64_t>(std::llround(cycles)) + kPipelineFill;
+  r.mean_act_precision =
+      chunks ? ta_weighted / static_cast<double>(chunks) : 0.0;
+  r.mean_weight_precision = wt;
+  r.activity.laconic_lane_term_ops =
+      static_cast<std::uint64_t>(std::llround(term_ops));
+  // Every provisioned lane slot either fires an effectual term pair or
+  // idles waiting for its group's slowest lane.
+  const double lane_slots = static_cast<double>(r.compute_cycles) *
+                            static_cast<double>(rows) *
+                            static_cast<double>(cols) *
+                            static_cast<double>(lanes);
+  r.utilization = lane_slots > 0.0 ? std::min(1.0, term_ops / lane_slots) : 0.0;
+  r.activity.laconic_idle_lane_cycles =
+      static_cast<std::uint64_t>(std::max(0.0, lane_slots - term_ops));
+
+  const std::uint64_t out_bits =
+      static_cast<std::uint64_t>(layer.out.elements()) * 16;
+  r.activity.about_write_bits = out_bits;
+  r.activity.about_read_bits = out_bits;
+  const std::uint64_t packed_out =
+      static_cast<std::uint64_t>(layer.out.elements() * lw.out_precision);
+  r.activity.am_write_bits = packed_out;
+  r.activity.transposer_bits = packed_out;
+  return r;
+}
+
+LayerResult LaconicSimulator::simulate_fc(LayerWorkload& lw) const {
+  const nn::Layer& layer = lw.layer();
+  LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.macs = layer.macs();
+
+  const int rows = cfg_.rows();
+  const int cols = cfg_.cols();
+  const int lanes = cfg_.lanes;
+  const std::int64_t concurrent = static_cast<std::int64_t>(rows) * cols;
+  const std::int64_t co = layer.out.c;
+  const std::int64_t ci = layer.in.elements();
+  const double wt = timing_weight_terms(lw);
+  const double wt_effectual = lw.naf_weight_terms().mean_per_weight;
+  // The FC path has no OR planes, so activations stream dense (16 passes);
+  // only the weight side is term-serial.
+  const double act_passes = static_cast<double>(kBasePrecision);
+
+  const FcCascadePlan plan = plan_fc_cascade(rows, cols, lanes, co, ci, wt,
+                                             act_passes, cfg_.cascading);
+
+  const double stagger = static_cast<double>(cols - 1);
+  r.compute_cycles =
+      static_cast<std::uint64_t>(std::llround(plan.cycles + stagger)) +
+      kPipelineFill;
+  r.mean_act_precision = kBasePrecision;
+  r.mean_weight_precision = wt;
+
+  const double sip_rounds = static_cast<double>(co) *
+                            static_cast<double>(plan.ways) *
+                            static_cast<double>(plan.rounds);
+  r.activity.wr_bits_loaded = static_cast<std::uint64_t>(
+      sip_rounds * static_cast<double>(lanes) *
+      static_cast<double>(layer.weight_precision));
+  r.activity.wm_read_bits = r.activity.wr_bits_loaded;
+  // Each MAC walks 16 activation passes against the weight's effectual terms.
+  const double term_ops =
+      static_cast<double>(r.macs) * act_passes * wt_effectual;
+  r.activity.laconic_lane_term_ops =
+      static_cast<std::uint64_t>(std::llround(term_ops));
+  r.activity.abin_read_bits = static_cast<std::uint64_t>(
+      plan.cycles * static_cast<double>(lanes * cols));
+  const std::uint64_t am_fetch = static_cast<std::uint64_t>(ci) * 16 *
+                                 static_cast<std::uint64_t>(plan.blocks);
+  r.activity.am_read_bits = am_fetch;
+  r.activity.abin_write_bits = am_fetch;
+
+  const std::uint64_t out_bits = static_cast<std::uint64_t>(co) * 16;
+  r.activity.about_write_bits = out_bits;
+  r.activity.about_read_bits = out_bits;
+  r.activity.am_write_bits = out_bits;
+
+  const double lane_slots = static_cast<double>(r.compute_cycles) *
+                            static_cast<double>(concurrent) *
+                            static_cast<double>(lanes);
+  r.utilization = lane_slots > 0.0 ? std::min(1.0, term_ops / lane_slots) : 0.0;
+  r.activity.laconic_idle_lane_cycles =
+      static_cast<std::uint64_t>(std::max(0.0, lane_slots - term_ops));
+  return r;
+}
+
+void LaconicSimulator::apply_memory(LayerResult& r, LayerWorkload& lw,
+                                    engine::TimingCore& core) const {
+  const nn::Layer& layer = lw.layer();
+  engine::LayerStorage st;
+  // Weights lay out dense bit-packed at the profile precision — the PE
+  // extracts terms, storage stays positional (addressable offsets).
+  st.weights_bit_packed = true;
+  st.weight_precision = layer.weight_precision;
+
+  const int rows = cfg_.rows();
+  const double wt = timing_weight_terms(lw);
+
+  if (layer.kind == nn::LayerKind::kConv) {
+    st.act_precision = layer.act_precision;
+    st.act_dynamic = true;
+    st.out_precision = lw.out_precision;
+    st.window_quantum = 16;
+    st.filter_quantum = rows;
+
+    const int cols = cfg_.cols();
+    const std::int64_t ic_count = ceil_div(layer.inner_length(), cfg_.lanes);
+    const ActTermTable term_table = lw.act_group_term_table(16);
+    core.apply(r, lw, st, [&, term_table](const mem::TileExtent& t) {
+      // Mirrors simulate_conv's chunk loop over the tile's window blocks so
+      // the blocks sum exactly to the unconstrained cycle count.
+      double cyc = 0.0;
+      for (std::int64_t wb = t.window_begin / cols; wb * cols < t.window_end;
+           ++wb) {
+        for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+          const int ta = term_table.at(t.conv_group, (wb * cols) / 16, ic);
+          cyc += static_cast<double>(ta) * wt;
+        }
+      }
+      return cyc * static_cast<double>(ceil_div(t.filter_count(), rows));
+    });
+  } else {
+    st.window_quantum = 1;
+    const double act_passes = static_cast<double>(kBasePrecision);
+    const FcCascadePlan plan =
+        plan_fc_cascade(rows, cfg_.cols(), cfg_.lanes, layer.out.c,
+                        layer.in.elements(), wt, act_passes, cfg_.cascading);
+    const std::int64_t opb =
+        static_cast<std::int64_t>(rows) * cfg_.cols() / plan.ways;
+    st.filter_quantum = opb;
+    core.apply(r, lw, st, [=](const mem::TileExtent& t) {
+      const auto blocks = static_cast<double>(ceil_div(t.filter_count(), opb));
+      return blocks * (static_cast<double>(plan.rounds) * act_passes * wt +
+                       static_cast<double>(plan.ways - 1));
+    });
+  }
+}
+
+LayerResult LaconicSimulator::simulate_layer(LayerWorkload& lw,
+                                             engine::TimingCore& core) const {
+  LayerResult r = lw.layer().kind == nn::LayerKind::kConv ? simulate_conv(lw)
+                                                          : simulate_fc(lw);
+  if (opts_.model_offchip) apply_memory(r, lw, core);
+  r.activity.cycles = r.cycles();
+  return r;
+}
+
+LayerResult LaconicSimulator::simulate_layer(LayerWorkload& lw,
+                                             mem::MemorySystem& mem) const {
+  engine::TimingCore core(mem);
+  LayerResult r = simulate_layer(lw, core);
+  const std::uint64_t tail = core.finish();
+  r.stall_cycles += tail;
+  r.activity.dram_stall_cycles += tail;
+  r.activity.cycles = r.cycles();
+  return r;
+}
+
+RunResult LaconicSimulator::run(NetworkWorkload& workload) {
+  RunResult result;
+  result.arch_name = name();
+  result.network = workload.network().name();
+  result.bits_per_cycle = 1;
+
+  const mem::MemorySystemConfig mem_cfg =
+      engine::resolve_memory_config(cfg_.equiv_macs, /*bit_packed=*/true, opts_);
+  mem::MemorySystem mem(mem_cfg);
+  engine::TimingCore core(mem);
+
+  result.area = energy::laconic_area(cfg_, mem_cfg);
+
+  for (std::size_t i = 0; i < workload.network().size(); ++i) {
+    if (!workload.network().layer(i).has_weights()) continue;
+    result.layers.push_back(simulate_layer(workload.layer(i), core));
+  }
+  engine::finish_run(result, core);
+  return result;
+}
+
+LaconicFunctionalRun run_laconic_conv(const nn::Layer& layer,
+                                      const nn::Tensor& input,
+                                      const nn::Tensor& weights,
+                                      const LaconicFunctionalOptions& opts) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kConv);
+
+  LaconicFunctionalRun run;
+  run.wide = nn::WideTensor(nn::Shape{layer.out.c, layer.out.h, layer.out.w});
+
+  // Exact values ride the bit-sliced engine (same dispatcher semantics as
+  // the scalar grid, byte-identical to nn::conv_forward).
+  BitsliceEngine::Options eng_opts;
+  eng_opts.rows = opts.rows;
+  eng_opts.cols = opts.cols;
+  eng_opts.lanes = opts.lanes;
+  eng_opts.jobs = opts.jobs;
+  LOOM_EXPECTS(BitsliceEngine::supports(eng_opts));
+  BitsliceEngine engine(eng_opts);
+  BitsliceEngine::SliceSpec spec;
+  spec.act_precision = layer.act_precision;
+  spec.weight_precision = layer.weight_precision;
+  spec.dynamic = true;
+  (void)engine.run_conv(layer, input, weights, spec, run.wide);
+
+  // Data-driven term-serial cycles over the actual tensors. Activation term
+  // counts come from the same OR planes the detector uses; weight terms are
+  // the NAF-union walk of each row's 16-weight group, synchronized across
+  // the filter block at the slowest row.
+  ActOrPlanes planes(layer, opts.lanes);
+  planes.build(input);
+
+  const std::int64_t windows = layer.windows();
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t cog = layer.group_out_channels();
+  const std::int64_t wb_count = ceil_div(windows, opts.cols);
+  const std::int64_t ic_count = ceil_div(inner, opts.lanes);
+  const std::uint32_t pa_mask =
+      (std::uint32_t{1} << layer.act_precision) - 1u;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t ta_sum = 0;
+  std::uint64_t tw_sum = 0;
+  std::uint64_t blocks = 0;
+  for (std::int64_t g = 0; g < layer.groups; ++g) {
+    for (std::int64_t f0 = 0; f0 < cog; f0 += opts.rows) {
+      const std::int64_t f1 = std::min<std::int64_t>(cog, f0 + opts.rows);
+      for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+        const std::int64_t i0 = ic * opts.lanes;
+        const std::int64_t i1 = std::min(inner, i0 + opts.lanes);
+        // Slowest row of the block: union NAF digit positions per row's
+        // weight group, take the longest walk.
+        int tw = 1;
+        for (std::int64_t f = f0; f < f1; ++f) {
+          const std::int64_t co = g * cog + f;
+          std::uint32_t positions = 0;
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const Value v = weights.flat(co * inner + i);
+            const auto mag = static_cast<std::uint32_t>(
+                v < 0 ? -static_cast<std::int32_t>(v)
+                      : static_cast<std::int32_t>(v));
+            positions |= naf_digits(mag).positions();
+          }
+          tw = std::max(tw, std::max(1, std::popcount(positions)));
+        }
+        for (std::int64_t wb = 0; wb < wb_count; ++wb) {
+          const int ta = std::max(
+              1, std::popcount(static_cast<std::uint32_t>(
+                     planes.group_or(g, ic, wb, opts.cols)) &
+                 pa_mask));
+          cycles += static_cast<std::uint64_t>(ta) *
+                    static_cast<std::uint64_t>(tw);
+          ta_sum += static_cast<std::uint64_t>(ta);
+          tw_sum += static_cast<std::uint64_t>(tw);
+          ++blocks;
+        }
+      }
+    }
+  }
+  run.cycles = cycles;
+  run.mean_act_terms =
+      blocks ? static_cast<double>(ta_sum) / static_cast<double>(blocks) : 0.0;
+  run.mean_weight_terms =
+      blocks ? static_cast<double>(tw_sum) / static_cast<double>(blocks) : 0.0;
+  return run;
+}
+
+std::unique_ptr<Simulator> make_laconic_simulator(
+    const arch::LaconicConfig& cfg, const SimOptions& opts) {
+  return std::make_unique<LaconicSimulator>(cfg, opts);
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,95 @@
+// Cycle model of a term-serial accelerator in the Pragmatic/Laconic lineage
+// (the §6 future-work direction): the same rows() x cols() SIP grid as LM1b,
+// but each lane processes one *effectual* activation-term x weight-term pair
+// per cycle instead of one bit-plane pair, so cycles scale with popcounts
+// rather than bit-widths.
+//
+// Convolutional layers: rows <- filters, cols <- windows. Each chunk (one
+// window block x one 16-activation input chunk) costs Ta x Tw cycles, where
+//  * Ta is the chunk's activation term count — the popcount of the detection
+//    group's OR mask (LayerWorkload::act_group_term_table over the same OR
+//    planes the precision detector uses). The group sequencer synchronizes
+//    at the slowest lane: it walks every essential bit-plane, i.e. every
+//    position at which *any* of the 256 activations has a one.
+//  * Tw is the measured mean synchronized weight-group term length — the
+//    popcount of the union of NAF digit positions over a 16-weight group
+//    (LayerWorkload::naf_weight_terms().synced_per_group). In the
+//    LaconicConfig::linear_term_scaling estimate mode it is instead the mean
+//    NAF digits *per weight*, the optimistic arithmetic bench_sparsity's old
+//    linear-scaling estimates applied (every lane independent, no
+//    synchronization) — kept so the estimate-vs-measured delta is visible.
+//
+// Fully-connected layers: the FC path has no OR planes, so activations
+// stream dense (16 passes) and only the weight side is term-serial; the
+// cascade slicing is shared with Loom (plan_fc_cascade).
+//
+// Storage and memory timing are positional, exactly like LM1b: activations
+// lay out bit-packed at the *detected precision* (terms cannot be addressed
+// without offsets, so AM/ABin traffic follows needed_bits, not popcounts)
+// and weights dense at the profile precision — term extraction happens at
+// the PE. Only compute cycles follow the term tables.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.hpp"
+#include "sim/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace loom::sim {
+
+class LaconicSimulator final : public Simulator {
+ public:
+  LaconicSimulator(const arch::LaconicConfig& cfg, const SimOptions& opts);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] RunResult run(NetworkWorkload& workload) override;
+
+  /// Simulate one layer against a run-wide timing core (shared tile
+  /// scheduler + memory timeline; see sim/engine.hpp).
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           engine::TimingCore& core) const;
+  /// Convenience overload for single-layer callers: a transient per-layer
+  /// timeline (no cross-layer prefetch), drain tail included.
+  [[nodiscard]] LayerResult simulate_layer(LayerWorkload& lw,
+                                           mem::MemorySystem& mem) const;
+
+ private:
+  [[nodiscard]] LayerResult simulate_conv(LayerWorkload& lw) const;
+  [[nodiscard]] LayerResult simulate_fc(LayerWorkload& lw) const;
+  void apply_memory(LayerResult& r, LayerWorkload& lw,
+                    engine::TimingCore& core) const;
+  /// Weight-side term count (possibly fractional) used for timing.
+  [[nodiscard]] double timing_weight_terms(LayerWorkload& lw) const;
+
+  arch::LaconicConfig cfg_;
+  SimOptions opts_;
+};
+
+/// Functional term-serial run of one convolution layer: exact accumulators
+/// from the bit-sliced engine (byte-identical to nn::conv_forward) plus
+/// *data-driven* term-serial grid cycles — per (filter block, window block,
+/// input chunk) the product of the chunk's activation term count and the
+/// slowest row's weight-group NAF union length. Unlike the analytic model,
+/// which works from streamed statistical means, this walks the actual
+/// tensors; tests pin it with golden digests rather than asserting equality
+/// with the analytic count.
+struct LaconicFunctionalRun {
+  nn::WideTensor wide;         ///< exact accumulators [out.c][out.h][out.w]
+  std::uint64_t cycles = 0;    ///< term-serial grid cycles (no pipeline fill)
+  double mean_act_terms = 0.0; ///< mean chunk activation term count
+  double mean_weight_terms = 0.0;  ///< mean per-block synced weight terms
+};
+
+struct LaconicFunctionalOptions {
+  int rows = 16;
+  int cols = 16;
+  int lanes = 16;
+  int jobs = 1;
+};
+
+[[nodiscard]] LaconicFunctionalRun run_laconic_conv(
+    const nn::Layer& layer, const nn::Tensor& input, const nn::Tensor& weights,
+    const LaconicFunctionalOptions& opts = {});
+
+}  // namespace loom::sim

@@ -272,6 +272,15 @@ void LoomSimulator::apply_memory(LayerResult& r, LayerWorkload& lw,
   // memory layout uses).
   st.weights_bit_packed = true;
   st.weight_precision = layer.weight_precision;
+  if (cfg_.sparse_weight_skipping) {
+    // Essential-plane packing: groups store only the sign-magnitude planes
+    // in which some weight has a one, plus a Pw-bit plane-presence bitmap
+    // per 16-weight group, so DRAM/WM footprints shrink along with the
+    // compute estimate instead of the flag being priced nowhere.
+    st.weight_mean_plane_bits =
+        lw.essential_weight_planes() +
+        static_cast<double>(layer.weight_precision) / 16.0;
+  }
 
   const int rows = cfg_.rows();
   const double pw = timing_weight_precision(lw);

@@ -48,5 +48,7 @@ class Simulator {
     const arch::LoomConfig& cfg, const SimOptions& opts = {});
 [[nodiscard]] std::unique_ptr<Simulator> make_stripes_simulator(
     const arch::StripesConfig& cfg, const SimOptions& opts = {});
+[[nodiscard]] std::unique_ptr<Simulator> make_laconic_simulator(
+    const arch::LaconicConfig& cfg, const SimOptions& opts = {});
 
 }  // namespace loom::sim

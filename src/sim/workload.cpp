@@ -140,12 +140,15 @@ LayerWorkload::ColsCache& LayerWorkload::ensure_cols_cache(int cols) {
   // allocation leaves the cache untouched (no half-built entry with null
   // slots for a later shared-lock lookup to dereference).
   const std::int64_t wb_count = ceil_div(windows_, cols);
-  auto slots = std::make_unique<std::atomic<std::uint8_t>[]>(
-      static_cast<std::size_t>(layer_.groups * wb_count * ic_count_));
+  const auto slot_count =
+      static_cast<std::size_t>(layer_.groups * wb_count * ic_count_);
+  auto slots = std::make_unique<std::atomic<std::uint8_t>[]>(slot_count);
+  auto term_slots = std::make_unique<std::atomic<std::uint8_t>[]>(slot_count);
   ColsCache& cache = group_precision_cache_.try_emplace(cols).first->second;
   cache.cols = cols;
   cache.wb_count = wb_count;
   cache.slots = std::move(slots);
+  cache.term_slots = std::move(term_slots);
   return cache;
 }
 
@@ -171,6 +174,30 @@ int LayerWorkload::cached_precision(const ColsCache& cache, std::int64_t g,
   cache.slots[key].store(static_cast<std::uint8_t>(clipped + 1),
                          std::memory_order_relaxed);
   return clipped;
+}
+
+int LayerWorkload::cached_term_count(const ColsCache& cache, std::int64_t g,
+                                     std::int64_t wb, std::int64_t ic) const {
+  LOOM_EXPECTS(static_cast<std::uint64_t>(g) <
+                   static_cast<std::uint64_t>(layer_.groups) &&
+               static_cast<std::uint64_t>(wb) <
+                   static_cast<std::uint64_t>(cache.wb_count) &&
+               static_cast<std::uint64_t>(ic) <
+                   static_cast<std::uint64_t>(ic_count_));
+  const std::size_t key =
+      static_cast<std::size_t>((g * cache.wb_count + wb) * ic_count_ + ic);
+  const std::uint8_t cached =
+      cache.term_slots[key].load(std::memory_order_relaxed);
+  if (cached != 0) return cached - 1;
+  // Mask to the layer Pa before counting, mirroring cached_precision's clip:
+  // planes above the profile precision don't exist in the serialized stream.
+  const auto masked = static_cast<std::uint32_t>(
+      planes_->group_or(g, ic, wb, cache.cols) &
+      ((std::uint32_t{1} << layer_.act_precision) - 1u));
+  const int terms = std::max(1, std::popcount(masked));
+  cache.term_slots[key].store(static_cast<std::uint8_t>(terms + 1),
+                              std::memory_order_relaxed);
+  return terms;
 }
 
 int LayerWorkload::act_group_precision(std::int64_t g, std::int64_t wb,
@@ -217,6 +244,43 @@ ActPrecisionTable LayerWorkload::act_group_precision_table(int cols) {
     cache.table_filled.store(true, std::memory_order_release);
   }
   return {cache.slots.get(), cache.wb_count, ic_count_};
+}
+
+int LayerWorkload::act_group_term_count(std::int64_t g, std::int64_t wb,
+                                        std::int64_t ic, int cols) {
+  {
+    const std::shared_lock<std::shared_mutex> lock(memo_mutex_);
+    const auto it = group_precision_cache_.find(cols);
+    if (it != group_precision_cache_.end()) {
+      return cached_term_count(it->second, g, wb, ic);
+    }
+  }
+  const std::lock_guard<std::shared_mutex> lock(memo_mutex_);
+  return cached_term_count(ensure_cols_cache(cols), g, wb, ic);
+}
+
+ActTermTable LayerWorkload::act_group_term_table(int cols) {
+  {
+    const std::shared_lock<std::shared_mutex> lock(memo_mutex_);
+    const auto it = group_precision_cache_.find(cols);
+    if (it != group_precision_cache_.end() &&
+        it->second.term_table_filled.load(std::memory_order_acquire)) {
+      return {it->second.term_slots.get(), it->second.wb_count, ic_count_};
+    }
+  }
+  const std::lock_guard<std::shared_mutex> lock(memo_mutex_);
+  ColsCache& cache = ensure_cols_cache(cols);
+  if (!cache.term_table_filled.load(std::memory_order_relaxed)) {
+    for (std::int64_t g = 0; g < layer_.groups; ++g) {
+      for (std::int64_t ic = 0; ic < ic_count_; ++ic) {
+        for (std::int64_t wb = 0; wb < cache.wb_count; ++wb) {
+          (void)cached_term_count(cache, g, wb, ic);
+        }
+      }
+    }
+    cache.term_table_filled.store(true, std::memory_order_release);
+  }
+  return {cache.term_slots.get(), cache.wb_count, ic_count_};
 }
 
 double LayerWorkload::effective_weight_precision() {
@@ -312,6 +376,55 @@ double LayerWorkload::essential_weight_planes() {
   }
   essential_planes_ = n ? sum / static_cast<double>(n) : 1.0;
   return *essential_planes_;
+}
+
+LayerWorkload::WeightTermStats LayerWorkload::naf_weight_terms() {
+  const std::lock_guard<std::mutex> lock(weight_mutex_);
+  if (naf_terms_.has_value()) return *naf_terms_;
+  LOOM_EXPECTS(layer_.has_weights());
+
+  const nn::SyntheticSpec spec = quant::calibrated_spec_cached(
+      layer_.weight_precision, /*is_signed=*/true, /*zero_fraction=*/0.0,
+      /*group_size=*/16, table3_target_);
+  const nn::SyntheticSource source(opts_.seed, nn::weight_stream(layer_index_),
+                                   spec);
+  const std::int64_t count = layer_.weight_count();
+  const std::int64_t groups = ceil_div(count, 16);
+  const std::int64_t stride = std::max<std::int64_t>(
+      1, groups / std::max<std::int64_t>(1, opts_.weight_sample_cap / 16));
+
+  // One pass over the sampled groups measures both statistics: the mean
+  // per-weight NAF digit count (what a linear estimate multiplies by) and
+  // the mean synchronized group length (what a 16-lane sequencer that walks
+  // every digit position present in *any* lane actually spends).
+  double term_sum = 0.0;
+  double sync_sum = 0.0;
+  std::int64_t weights = 0;
+  std::int64_t n = 0;
+  for (std::int64_t g = 0; g < groups; g += stride) {
+    const std::int64_t end = std::min<std::int64_t>((g + 1) * 16, count);
+    std::uint32_t union_positions = 0;
+    for (std::int64_t i = g * 16; i < end; ++i) {
+      const Value v = source.at(static_cast<std::uint64_t>(i));
+      const auto mag = static_cast<std::uint32_t>(
+          v < 0 ? -static_cast<std::int32_t>(v) : static_cast<std::int32_t>(v));
+      const NafDigits d = naf_digits(mag);
+      term_sum += std::popcount(d.plus) + std::popcount(d.minus);
+      union_positions |= d.positions();
+      ++weights;
+    }
+    sync_sum += std::max(1, std::popcount(union_positions));
+    ++n;
+  }
+  WeightTermStats stats;
+  // Floor at one sixteenth: even an all-zero group costs the sequencer one
+  // cycle, so the per-weight average cannot be meaningfully below 1/16.
+  stats.mean_per_weight =
+      weights ? std::max(term_sum / static_cast<double>(weights), 1.0 / 16.0)
+              : 1.0;
+  stats.synced_per_group = n ? sync_sum / static_cast<double>(n) : 1.0;
+  naf_terms_ = stats;
+  return stats;
 }
 
 NetworkWorkload::NetworkWorkload(nn::Network net,

@@ -80,6 +80,11 @@ class ActPrecisionTable {
   std::int64_t ic_count_ = 0;
 };
 
+/// Per-chunk activation *term counts* (popcount of the detection group's OR
+/// mask) share the precision table's layout, bias and extents exactly — the
+/// values are just popcounts instead of leading-one positions.
+using ActTermTable = ActPrecisionTable;
+
 class LayerWorkload {
  public:
   LayerWorkload(const nn::Layer& layer, std::size_t layer_index,
@@ -99,6 +104,34 @@ class LayerWorkload {
   /// Thread-safe; the view stays valid for this workload's lifetime.
   [[nodiscard]] ActPrecisionTable act_group_precision_table(int cols);
 
+  /// Term-count analog of act_group_precision: the number of *essential*
+  /// activation bit-planes of the detection group (popcount of its OR
+  /// mask) — the cycles a term-serial sequencer synchronizing the group at
+  /// its slowest lane spends on the activation side. Always <= the detected
+  /// precision; clipped to [1, Pa]. Conv layers only. Thread-safe.
+  [[nodiscard]] int act_group_term_count(std::int64_t g, std::int64_t wb,
+                                         std::int64_t ic, int cols);
+
+  /// Bulk variant of act_group_term_count (same contract as
+  /// act_group_precision_table; both tables of one `cols` share geometry).
+  [[nodiscard]] ActTermTable act_group_term_table(int cols);
+
+  /// Weight-side NAF term statistics for the term-serial (Laconic-style)
+  /// cycle model, measured by streaming the calibrated weight source once.
+  /// NAF is what the hardware (and the bit-sliced functional engine)
+  /// actually serializes — signed ±2^k digits, no separate sign pass —
+  /// unlike essential_weight_planes' sign-magnitude planes.
+  struct WeightTermStats {
+    /// Mean nonzero NAF digits per weight: the linear-scaling estimate's
+    /// operand (every lane independent, zero digits skipped for free).
+    double mean_per_weight = 0.0;
+    /// Mean over 16-weight groups of the popcount of the *union* of NAF
+    /// digit positions (>= 1): a group sequencer synchronized at the
+    /// slowest lane walks every position at which any lane has a digit.
+    double synced_per_group = 1.0;
+  };
+  [[nodiscard]] WeightTermStats naf_weight_terms();
+
   /// Mean effective per-group (16 weights) precision, measured by streaming
   /// the calibrated weight source (paper Table 3 / §4.6).
   [[nodiscard]] double effective_weight_precision();
@@ -112,6 +145,16 @@ class LayerWorkload {
   /// one sign pass (sign-magnitude serialization). Bit positions at which
   /// every weight of the group is zero can be skipped entirely, unlike
   /// precision trimming which only removes leading planes.
+  ///
+  /// Term-definition note: this counts *sign-magnitude* planes — the layout
+  /// weights occupy in storage, so it is what the memory core prices when
+  /// LoomConfig::sparse_weight_skipping packs the WM/DRAM footprint (and
+  /// what that flag's Loom timing estimate uses). The *compute* term counts
+  /// of the term-serial simulator and the bit-sliced engine instead follow
+  /// the NAF digit serialization (naf_weight_terms) — fewer terms than
+  /// essential planes, since NAF folds the sign pass into signed digits and
+  /// needs no digit at runs of adjacent ones. test_laconic_sim.cpp pins
+  /// both counts on a known tensor.
   [[nodiscard]] double essential_weight_planes();
 
   /// Static profile precisions.
@@ -138,6 +181,10 @@ class LayerWorkload {
     std::int64_t wb_count = 0;
     std::unique_ptr<std::atomic<std::uint8_t>[]> slots;
     std::atomic<bool> table_filled{false};
+    /// Same layout/bias for the per-chunk term counts (popcounts <= 16, so
+    /// the +1-biased byte never overflows).
+    std::unique_ptr<std::atomic<std::uint8_t>[]> term_slots;
+    std::atomic<bool> term_table_filled{false};
   };
 
   void ensure_input_tensor();
@@ -149,6 +196,9 @@ class LayerWorkload {
   /// Cache lookup; computes a missing entry from the OR planes.
   [[nodiscard]] int cached_precision(const ColsCache& cache, std::int64_t g,
                                      std::int64_t wb, std::int64_t ic) const;
+  /// Term-count twin of cached_precision over the same cache geometry.
+  [[nodiscard]] int cached_term_count(const ColsCache& cache, std::int64_t g,
+                                      std::int64_t wb, std::int64_t ic) const;
   /// Refine the activation distribution so the mean detected precision over
   /// the layer's *actual* (window-block, input-chunk) groups — which share
   /// values between overlapping windows — hits the calibration target.
@@ -179,6 +229,7 @@ class LayerWorkload {
   bool group_calibrated_ = false;
   std::optional<double> measured_weight_precision_;
   std::optional<double> essential_planes_;
+  std::optional<WeightTermStats> naf_terms_;
   std::unordered_map<int, ColsCache> group_precision_cache_;
   std::unordered_map<int, double> honest_cache_;
 };

@@ -22,10 +22,17 @@ TEST(Runner, RosterNamesFollowOptions) {
   opts.include_dstripes = true;
   ExperimentRunner runner(opts);
   const auto names = runner.roster_names();
-  ASSERT_EQ(names.size(), 5u);  // Stripes, DStripes, LM1b, LM2b, LM4b
+  // Stripes, DStripes, LM1b, LM2b, LM4b, Laconic (term-serial rides last so
+  // the historical indices stay put).
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_NE(names[0].find("Stripes"), std::string::npos);
   EXPECT_NE(names[1].find("DStripes"), std::string::npos);
   EXPECT_NE(names[2].find("LM1b"), std::string::npos);
+  EXPECT_NE(names.back().find("Laconic"), std::string::npos);
+
+  RunnerOptions no_laconic;
+  no_laconic.include_laconic = false;
+  EXPECT_EQ(ExperimentRunner(no_laconic).roster_names().size(), 4u);
 }
 
 TEST(Runner, AlexNetReproducesPaperBands) {
@@ -190,8 +197,14 @@ TEST(Runner, CliFlagsMapToRunnerOptions) {
   EXPECT_EQ(opts.loom_bits[1], 4);
   EXPECT_TRUE(opts.include_dstripes);
   EXPECT_TRUE(opts.include_stripes);
+  EXPECT_TRUE(opts.include_laconic);
   EXPECT_EQ(opts.jobs, 3);
   EXPECT_EQ(opts.seed, 7u);
+
+  const char* trimmed[] = {"prog", "--no-laconic", "--no-stripes"};
+  const RunnerOptions lean = runner_options_from_cli(Options(3, trimmed));
+  EXPECT_FALSE(lean.include_laconic);
+  EXPECT_FALSE(lean.include_stripes);
 
   // The historical --offchip spelling still works; defaults stay
   // constrained when neither flag is given.
