@@ -6,10 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include <bit>
+#include <chrono>
+#include <future>
+#include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/loom.hpp"
 #include "nn/im2col.hpp"
+#include "serve/server.hpp"
 #include "sim/bitslice_engine.hpp"
 #include "sim/functional.hpp"
 #include "sim/loom_sim.hpp"
@@ -487,6 +492,83 @@ void BM_ServeSequentialFc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kServeFcBatch);
 }
 BENCHMARK(BM_ServeSequentialFc);
+
+// ---- Serving saturation sweep ---------------------------------------------
+// Open-loop arrivals against a live InferenceServer: requests arrive at a
+// fixed offered rate whether or not the server keeps up (a closed loop
+// would self-throttle and hide the overload regime entirely). Below the
+// knee the achieved rate tracks the offered rate and nothing sheds; past
+// it the admission controller sheds best-effort work at the watermark
+// instead of letting the queue and p99 grow without bound. Counters per
+// offered rate: achieved_rps, p99_ms (end-to-end, completed requests) and
+// shed_rate — the throughput/latency knee in one sweep.
+void BM_ServeSaturation(benchmark::State& state) {
+  const auto offered_rps = static_cast<double>(state.range(0));
+  constexpr int kRequests = 96;
+
+  serve::ModelRegistry registry;
+  {
+    FcBenchCase c = fc_heavy_case(1);
+    quant::PrecisionProfile p;
+    p.network = "fc-heavy";
+    p.conv_weight = 8;
+    p.fc_weight = {8, 8, 8};
+    registry.add("fc-heavy", std::move(c.net), p, std::move(c.weights));
+  }
+  const auto model = registry.find("fc-heavy");
+
+  serve::ServeOptions opts;
+  opts.max_batch = 8;
+  opts.batch_deadline = std::chrono::microseconds(200);
+  opts.queue_depth = 16;
+  opts.workers = 1;
+  opts.engine.jobs = 1;
+
+  double completed = 0;
+  double not_admitted = 0;
+  double p99_ns = 0;
+  for (auto _ : state) {
+    serve::InferenceServer server(registry, opts);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(kRequests);
+    const auto gap = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(1e9 / offered_rps));
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRequests; ++i) {
+      std::this_thread::sleep_until(start + i * gap);
+      serve::SubmitOptions sopts;
+      sopts.priority = serve::Priority::kBestEffort;
+      try {
+        futures.push_back(server.try_submit(
+            model, model->make_input(/*seed=*/77, /*stream=*/i),
+            std::chrono::microseconds(0), sopts));
+      } catch (const OverloadError&) {
+        ++not_admitted;  // open loop: shed and move on, never stall arrivals
+      }
+    }
+    for (auto& f : futures) f.wait();
+    server.stop();
+    const serve::ServerStats stats = server.stats();
+    completed += static_cast<double>(stats.completed);
+    p99_ns = stats.latency_all().p99();
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.counters["offered_rps"] = offered_rps;
+  state.counters["achieved_rps"] = benchmark::Counter(
+      completed, benchmark::Counter::kIsRate);
+  state.counters["p99_ms"] = p99_ns * 1e-6;
+  state.counters["shed_rate"] =
+      (iters * kRequests - completed) / (iters * kRequests);
+}
+BENCHMARK(BM_ServeSaturation)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // ---- Memory-hierarchy timing core ----------------------------------------
 

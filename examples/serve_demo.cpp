@@ -3,17 +3,35 @@
 // batched-vs-sequential throughput comparison on the same traffic.
 //
 //   ./build/examples/serve_demo
+//   ./build/examples/serve_demo --priority=mixed --deadline-ms=5
+//   ./build/examples/serve_demo --inject-faults --fault-seed=7
+//
+// Flags:
+//   --priority=interactive|batch|besteffort|mixed
+//       Class every request is submitted under; "mixed" (default) rotates
+//       through all three. Interactive blocks at a full queue, batch sheds
+//       when the queue is full, best-effort sheds at the watermark.
+//   --deadline-ms=N   per-request deadline (0 = none, the default); expired
+//       requests resolve with DeadlineExceededError and count as timed out.
+//   --inject-faults   arm the deterministic fault injector (20% engine
+//       failures, occasional batcher stalls and queue-pressure spikes) to
+//       show retry -> scalar-fallback degradation keeping outputs exact.
+//   --fault-seed=S    replay seed for the injector (default 1).
 //
 // The server coalesces concurrent requests per model into lane-packed
 // batches for the bit-sliced engine; outputs are byte-identical to running
 // each request alone (the demo spot-checks one request per model against a
-// solo run).
+// solo run), no matter which degradation path a batch took.
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+#include "core/options.hpp"
 #include "serve/server.hpp"
 #include "sim/functional.hpp"
 
@@ -54,9 +72,23 @@ void populate_registry(serve::ModelRegistry& registry) {
   }
 }
 
+serve::Priority priority_for(const std::string& mode, int id) {
+  if (mode == "interactive") return serve::Priority::kInteractive;
+  if (mode == "batch") return serve::Priority::kBatch;
+  if (mode == "besteffort") return serve::Priority::kBestEffort;
+  return static_cast<serve::Priority>(id % serve::kPriorityClasses);  // mixed
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const core::Options cli(argc, argv);
+  const std::string priority_mode = cli.get("priority", "mixed");
+  const double deadline_ms = cli.get_double("deadline-ms", 0.0);
+  const bool inject = cli.get_bool("inject-faults", false);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+
   serve::ModelRegistry registry;
   populate_registry(registry);
   const auto convnet = registry.find("convnet");
@@ -72,12 +104,22 @@ int main() {
   opts.queue_depth = 32;
   opts.workers = 1;
   opts.engine.jobs = 1;
+  if (inject) {
+    opts.faults.seed = fault_seed;
+    opts.faults.engine_failure_prob = 0.20;
+    opts.faults.batcher_delay_prob = 0.10;
+    opts.faults.batcher_delay = std::chrono::microseconds(500);
+    opts.faults.queue_spike_prob = 0.10;
+    opts.faults.queue_spike_depth = opts.queue_depth;
+  }
 
   // ---- Serve interleaved traffic from several producers -------------------
   std::vector<std::future<serve::InferenceResult>> futures(
       static_cast<std::size_t>(kTotal));
+  std::vector<char> admitted(static_cast<std::size_t>(kTotal), 0);
   const auto t0 = std::chrono::steady_clock::now();
   serve::ServerStats stats;
+  std::uint64_t injected_engine_faults = 0;
   {
     serve::InferenceServer server(registry, opts);
     std::vector<std::thread> producers;
@@ -86,17 +128,49 @@ int main() {
         for (int i = 0; i < kRequestsPerProducer; ++i) {
           const auto model = (p + i) % 2 == 0 ? convnet : mlp;
           const int id = p * kRequestsPerProducer + i;
-          futures[static_cast<std::size_t>(id)] = server.submit(
-              model, model->make_input(/*seed=*/77, /*stream=*/id));
+          serve::SubmitOptions sopts;
+          sopts.priority = priority_for(priority_mode, id);
+          if (deadline_ms > 0.0) {
+            sopts.deadline = std::chrono::duration_cast<
+                std::chrono::nanoseconds>(
+                std::chrono::duration<double, std::milli>(deadline_ms));
+          }
+          try {
+            futures[static_cast<std::size_t>(id)] = server.submit(
+                model, model->make_input(/*seed=*/77, /*stream=*/id), sopts);
+            admitted[static_cast<std::size_t>(id)] = 1;
+          } catch (const OverloadError&) {
+            // Shed at admission (batch / best-effort under pressure).
+          }
         }
       });
     }
     for (auto& t : producers) t.join();
-    for (auto& f : futures) (void)f.wait();
+    for (int id = 0; id < kTotal; ++id) {
+      if (admitted[static_cast<std::size_t>(id)]) {
+        futures[static_cast<std::size_t>(id)].wait();
+      }
+    }
     stats = server.stats();
+    injected_engine_faults = server.fault_injector().engine_failures_injected();
   }  // drain + join
   const std::chrono::duration<double> served =
       std::chrono::steady_clock::now() - t0;
+
+  int completed = 0;
+  int degraded_ok = 0;
+  for (int id = 0; id < kTotal; ++id) {
+    if (!admitted[static_cast<std::size_t>(id)]) continue;
+    try {
+      const serve::InferenceResult res =
+          futures[static_cast<std::size_t>(id)].get();
+      ++completed;
+      if (res.via_fallback || res.engine_attempts > 1) ++degraded_ok;
+    } catch (const std::exception&) {
+      // DeadlineExceededError / OverloadError / TransientEngineError —
+      // already counted in ServerStats below.
+    }
+  }
 
   // ---- The same traffic, one request at a time ----------------------------
   // Identical (model, input) pairs as the served run: id = p * 24 + i was
@@ -113,10 +187,13 @@ int main() {
       std::chrono::steady_clock::now() - t1;
 
   // ---- Spot-check byte-identity on one request per model ------------------
+  // A fault-free server instance: degradation must never change outputs.
   for (const auto& model : {convnet, mlp}) {
     const nn::Tensor input = model->make_input(77, 2);
     const auto solo_run = solo.run_network(model->net, input, model->weights);
-    serve::InferenceServer checker(registry, opts);
+    serve::ServeOptions check_opts = opts;
+    check_opts.faults = serve::FaultPlan{};
+    serve::InferenceServer checker(registry, check_opts);
     const auto result = checker.submit(model, input).get();
     if (!(result.output == solo_run.output)) {
       std::printf("FAIL: batched output diverged for %s\n",
@@ -134,16 +211,39 @@ int main() {
   std::printf("  peak queue depth: %llu of %zu\n",
               static_cast<unsigned long long>(stats.peak_queue_depth),
               opts.queue_depth);
-  std::printf("  mean queue wait: %.1f us   max latency: %.1f us\n",
-              1e-3 *
-                  static_cast<double>(stats.total_queue_wait.count()) /
-                  static_cast<double>(stats.completed),
-              1e-3 * static_cast<double>(stats.max_latency.count()));
+  std::printf(
+      "  completed %llu  rejected %llu  shed %llu  timed out %llu  "
+      "failed %llu\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.timed_out),
+      static_cast<unsigned long long>(stats.failed));
+  if (inject) {
+    std::printf(
+        "  faults: %llu engine failures injected -> %llu retries, "
+        "%llu scalar fallbacks (%d degraded requests still exact)\n",
+        static_cast<unsigned long long>(injected_engine_faults),
+        static_cast<unsigned long long>(stats.retries),
+        static_cast<unsigned long long>(stats.fallbacks), degraded_ok);
+  }
+  for (int c = 0; c < serve::kPriorityClasses; ++c) {
+    const serve::ClassStats& cs =
+        stats.by_class[static_cast<std::size_t>(c)];
+    if (cs.submitted == 0 && cs.rejected == 0) continue;
+    std::printf(
+        "  %-11s: %3llu ok  latency p50 %7.1f us  p99 %7.1f us  "
+        "(queue-wait p50 %.1f us)\n",
+        serve::priority_name(static_cast<serve::Priority>(c)),
+        static_cast<unsigned long long>(cs.completed),
+        1e-3 * cs.latency_ns.p50(), 1e-3 * cs.latency_ns.p99(),
+        1e-3 * cs.queue_wait_ns.p50());
+  }
   std::printf("  batched:    %7.1f img/s  (%.3f s wall)\n",
-              kTotal / served.count(), served.count());
+              completed / served.count(), served.count());
   std::printf("  sequential: %7.1f img/s  (%.3f s wall)\n",
               kTotal / sequential.count(), sequential.count());
   std::printf("  throughput: %.2fx, outputs byte-identical to solo runs\n",
-              sequential.count() / served.count());
+              (completed / served.count()) / (kTotal / sequential.count()));
   return 0;
 }

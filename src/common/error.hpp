@@ -30,6 +30,44 @@ class ContractViolation : public Error {
   explicit ContractViolation(const std::string& what) : Error(what) {}
 };
 
+// ---- Serving / robustness taxonomy ----------------------------------------
+// The inference server reports *why* a request did not complete with a
+// distinct type per cause, so callers can branch (retry later, resubmit at a
+// higher priority, give up) without string-matching. ConfigError stays
+// reserved for genuinely inconsistent configuration.
+
+/// Thrown when admission control sheds a request under queue pressure —
+/// either rejected at submit time (watermark crossed, bounded wait expired)
+/// or evicted from the queue to make room for higher-priority work. The
+/// request never ran; retrying later or at a higher priority may succeed.
+class OverloadError : public Error {
+ public:
+  explicit OverloadError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown (through the request's future) when a per-request deadline expired
+/// before a result could be delivered — at batch formation or at completion.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a request is refused because the server is stopping (or has
+/// stopped). Nothing is misconfigured and nothing was lost; the request was
+/// simply submitted too late.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
+/// A (possibly transient) engine-run failure: the batch may succeed on
+/// retry or on the scalar-oracle fallback. Also what the fault-injection
+/// harness throws to exercise those paths.
+class TransientEngineError : public Error {
+ public:
+  explicit TransientEngineError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* cond,
                                        const char* file, int line) {

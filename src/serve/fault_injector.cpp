@@ -1,0 +1,50 @@
+#include "serve/fault_injector.hpp"
+
+#include "common/error.hpp"
+
+namespace loom::serve {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      rngs_{CounterRng(plan.seed, kEngine), CounterRng(plan.seed, kFallback),
+            CounterRng(plan.seed, kDelay), CounterRng(plan.seed, kSpike)} {
+  LOOM_EXPECTS(plan_.engine_failure_prob >= 0.0 &&
+               plan_.engine_failure_prob <= 1.0);
+  LOOM_EXPECTS(plan_.fallback_failure_prob >= 0.0 &&
+               plan_.fallback_failure_prob <= 1.0);
+  LOOM_EXPECTS(plan_.batcher_delay_prob >= 0.0 &&
+               plan_.batcher_delay_prob <= 1.0);
+  LOOM_EXPECTS(plan_.queue_spike_prob >= 0.0 && plan_.queue_spike_prob <= 1.0);
+  LOOM_EXPECTS(plan_.batcher_delay.count() >= 0);
+  for (std::size_t s = 0; s < kSites; ++s) {
+    next_[s].store(0, std::memory_order_relaxed);
+    fired_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::draw(Site site, double prob) noexcept {
+  if (prob <= 0.0) return false;
+  const std::uint64_t index =
+      next_[site].fetch_add(1, std::memory_order_relaxed);
+  const bool fire = rngs_[site].uniform(index) < prob;
+  if (fire) fired_[site].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+bool FaultInjector::should_fail_engine() noexcept {
+  return draw(kEngine, plan_.engine_failure_prob);
+}
+
+bool FaultInjector::should_fail_fallback() noexcept {
+  return draw(kFallback, plan_.fallback_failure_prob);
+}
+
+bool FaultInjector::should_delay_batcher() noexcept {
+  return draw(kDelay, plan_.batcher_delay_prob);
+}
+
+std::size_t FaultInjector::queue_spike() noexcept {
+  return draw(kSpike, plan_.queue_spike_prob) ? plan_.queue_spike_depth : 0;
+}
+
+}  // namespace loom::serve

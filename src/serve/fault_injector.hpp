@@ -1,0 +1,99 @@
+// Deterministic, seed-replayable fault injection for the serving stack.
+//
+// The injector is compiled in always and disabled by default (every
+// probability in FaultPlan is zero); enabling it costs one counter-based
+// RNG draw per decision site. Each site owns an independent draw stream
+// (CounterRng stream = site id) indexed by an atomic per-site counter, so
+// for a fixed seed the k-th decision at a site is a pure function of
+// (seed, site, k): a replayed run with the same number of visits to each
+// site injects the same multiset of faults regardless of thread
+// interleaving — which is what makes overload stress tests replayable via
+// LOOM_SERVE_FAULT_SEED.
+//
+// Sites wired into InferenceServer:
+//   engine_failure   -- thrown as TransientEngineError from the bit-sliced
+//                       engine's pre-run hook (primary attempts + retries;
+//                       the scalar fallback engine has no hook)
+//   fallback_failure -- same, but for the scalar-oracle fallback attempt,
+//                       driving the fail-futures-individually path
+//   batcher_delay    -- worker sleeps `batcher_delay` after popping a batch
+//   queue_spike      -- admission control sees `queue_spike_depth` phantom
+//                       pending requests, provoking watermark sheds
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace loom::serve {
+
+/// Fault-injection configuration. All probabilities in [0, 1]; all zero
+/// (the default) disables injection entirely.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Probability a bit-sliced engine run (initial attempt or retry) throws
+  /// TransientEngineError before doing any work.
+  double engine_failure_prob = 0.0;
+  /// Probability the scalar-oracle fallback attempt throws too (exercises
+  /// per-future failure without crashing the worker).
+  double fallback_failure_prob = 0.0;
+  /// Probability a popped batch is delayed by `batcher_delay` before
+  /// running (simulates a slow worker; builds queue pressure).
+  double batcher_delay_prob = 0.0;
+  std::chrono::microseconds batcher_delay{0};
+  /// Probability one admission decision observes `queue_spike_depth` extra
+  /// phantom pending requests (simulates a pressure spike; provokes sheds).
+  double queue_spike_prob = 0.0;
+  std::size_t queue_spike_depth = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return engine_failure_prob > 0.0 || fallback_failure_prob > 0.0 ||
+           batcher_delay_prob > 0.0 || queue_spike_prob > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultPlan{}) {}
+  explicit FaultInjector(const FaultPlan& plan);
+
+  [[nodiscard]] bool enabled() const noexcept { return plan_.enabled(); }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // ---- Decision sites (thread-safe; each draw advances its stream) --------
+  [[nodiscard]] bool should_fail_engine() noexcept;
+  [[nodiscard]] bool should_fail_fallback() noexcept;
+  [[nodiscard]] bool should_delay_batcher() noexcept;
+  /// Phantom pending requests this admission decision should add (0 or
+  /// plan().queue_spike_depth).
+  [[nodiscard]] std::size_t queue_spike() noexcept;
+
+  // ---- Injected-fault observability (for tests and stats printing) --------
+  [[nodiscard]] std::uint64_t engine_failures_injected() const noexcept {
+    return fired_[kEngine].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fallback_failures_injected() const noexcept {
+    return fired_[kFallback].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t batcher_delays_injected() const noexcept {
+    return fired_[kDelay].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t queue_spikes_injected() const noexcept {
+    return fired_[kSpike].load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum Site : std::size_t { kEngine = 0, kFallback, kDelay, kSpike, kSites };
+
+  [[nodiscard]] bool draw(Site site, double prob) noexcept;
+
+  FaultPlan plan_;
+  CounterRng rngs_[kSites];
+  std::atomic<std::uint64_t> next_[kSites];
+  std::atomic<std::uint64_t> fired_[kSites];
+};
+
+}  // namespace loom::serve

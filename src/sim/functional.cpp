@@ -380,6 +380,7 @@ FunctionalBatchNetworkRun FunctionalLoomEngine::run_network_batch(
     const nn::Network& net, std::span<const nn::Tensor> inputs,
     std::span<const nn::Tensor> weights) {
   LOOM_EXPECTS(!inputs.empty());
+  if (opts_.pre_run_hook) opts_.pre_run_hook();
   FunctionalBatchNetworkRun run;
   std::vector<nn::Tensor> current(inputs.begin(), inputs.end());
   std::size_t weight_index = 0;
@@ -415,6 +416,7 @@ FunctionalBatchNetworkRun FunctionalLoomEngine::run_network_batch(
 FunctionalNetworkRun FunctionalLoomEngine::run_network(
     const nn::Network& net, const nn::Tensor& input,
     std::span<const nn::Tensor> weights) {
+  if (opts_.pre_run_hook) opts_.pre_run_hook();
   FunctionalNetworkRun run;
   nn::Tensor current = input;
   std::size_t weight_index = 0;

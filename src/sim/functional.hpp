@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -51,6 +52,13 @@ struct FunctionalOptions {
   int jobs = 0;
   /// Force the scalar arch::Sip oracle (also: LOOM_FUNCTIONAL_SCALAR=1).
   bool force_scalar = false;
+  /// Invoked at the top of every run_network / run_network_batch call; may
+  /// throw, in which case the run fails before touching any state. This is
+  /// how the serving fault injector makes an engine run fail: the server
+  /// installs a hook that throws TransientEngineError at a configured
+  /// probability on its primary (bit-sliced) engine, while the
+  /// scalar-oracle fallback engine runs hook-free. Null = disabled.
+  std::function<void()> pre_run_hook = nullptr;
 };
 
 struct FunctionalLayerRun {

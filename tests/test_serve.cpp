@@ -204,8 +204,214 @@ TEST(Serve, SubmissionErrors) {
   auto ok = server.submit(model, model->make_input(kInputSeed, 0));
   server.stop();
   EXPECT_NO_THROW((void)ok.get());  // in-flight work drained by stop()
+  // Late submitters are refused for being late, not misconfigured: the
+  // exception type is pinned so it cannot regress to ConfigError.
   EXPECT_THROW((void)server.submit(model, model->make_input(kInputSeed, 1)),
-               ConfigError);
+               ShutdownError);
+  EXPECT_THROW((void)server.try_submit(model, model->make_input(kInputSeed, 1),
+                                       std::chrono::milliseconds(5)),
+               ShutdownError);
+}
+
+// ---- Robustness: admission control, deadlines, degradation ----------------
+
+TEST(ServeRobustness, BestEffortShedsAtWatermarkUnderInjectedPressure) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.queue_depth = 8;
+  opts.shed_watermark = 0.5;  // best-effort sheds at 4 pending
+  opts.engine.jobs = 1;
+  // Every admission decision observes a phantom full queue.
+  opts.faults.seed = 9;
+  opts.faults.queue_spike_prob = 1.0;
+  opts.faults.queue_spike_depth = 8;
+  InferenceServer server(registry, opts);
+
+  const auto model = registry.find("mlp");
+  // Best-effort: pressure >= watermark at admission -> OverloadError.
+  EXPECT_THROW((void)server.submit(model, model->make_input(kInputSeed, 0),
+                                   {.priority = Priority::kBestEffort}),
+               OverloadError);
+  // Batch: sheds only at a (phantom) full queue — which the spike fakes.
+  EXPECT_THROW((void)server.submit(model, model->make_input(kInputSeed, 0),
+                                   {.priority = Priority::kBatch}),
+               OverloadError);
+  // Interactive: never shed at admission; spikes cannot block it forever.
+  auto fut = server.submit(model, model->make_input(kInputSeed, 0));
+  EXPECT_NO_THROW((void)fut.get());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.for_priority(Priority::kBestEffort).rejected, 1u);
+  EXPECT_EQ(stats.for_priority(Priority::kBatch).rejected, 1u);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_GE(server.fault_injector().queue_spikes_injected(), 2u);
+}
+
+TEST(ServeRobustness, TrySubmitBoundedWaitShedsInsteadOfBlocking) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.queue_depth = 4;
+  opts.engine.jobs = 1;
+  opts.faults.seed = 10;
+  opts.faults.queue_spike_prob = 1.0;  // every admission sees a full queue
+  opts.faults.queue_spike_depth = 4;
+  InferenceServer server(registry, opts);
+
+  const auto model = registry.find("mlp");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)server.try_submit(model, model->make_input(kInputSeed, 0),
+                                       std::chrono::milliseconds(20),
+                                       {.priority = Priority::kBatch}),
+               OverloadError);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  // Bounded: it waited (roughly the timeout), then shed instead of hanging.
+  EXPECT_GE(waited, std::chrono::milliseconds(15));
+  EXPECT_LT(waited, std::chrono::seconds(15));
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(ServeRobustness, DeadlineExpiredRequestsResolveAsDeadlineExceeded) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.max_batch = 4;
+  // Hold batches open far longer than the request deadlines: expiry must
+  // come from the deadline cap, not the batch deadline elapsing first.
+  opts.batch_deadline = std::chrono::microseconds(50'000);
+  opts.engine.jobs = 1;
+  InferenceServer server(registry, opts);
+
+  const auto model = registry.find("convnet");
+  // A generous deadline completes; a 1ns deadline cannot.
+  auto ok = server.submit(model, model->make_input(kInputSeed, 0),
+                          {.deadline = std::chrono::seconds(30)});
+  auto doomed = server.submit(model, model->make_input(kInputSeed, 1),
+                              {.priority = Priority::kBatch,
+                               .deadline = std::chrono::nanoseconds(1)});
+  EXPECT_NO_THROW((void)ok.get());
+  EXPECT_THROW((void)doomed.get(), DeadlineExceededError);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.for_priority(Priority::kBatch).timed_out, 1u);
+  // Satellite: queue_wait/run_time aggregate into per-class histograms.
+  const ClassStats& inter = stats.for_priority(Priority::kInteractive);
+  EXPECT_EQ(inter.latency_ns.count(), 1u);
+  EXPECT_EQ(inter.queue_wait_ns.count(), 1u);
+  EXPECT_EQ(inter.run_time_ns.count(), 1u);
+  EXPECT_GT(inter.latency_ns.p50(), 0.0);
+  EXPECT_GE(inter.latency_ns.p99(), inter.latency_ns.p50());
+}
+
+TEST(ServeRobustness, InteractiveArrivalEvictsQueuedBestEffortWhenFull) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.batch_deadline = std::chrono::microseconds(0);
+  opts.queue_depth = 2;
+  opts.shed_watermark = 1.0;  // isolate eviction from watermark shedding
+  opts.engine.jobs = 1;
+  // Stall every batch so the queue reliably fills behind the worker.
+  opts.faults.seed = 11;
+  opts.faults.batcher_delay_prob = 1.0;
+  opts.faults.batcher_delay = std::chrono::microseconds(150'000);
+  InferenceServer server(registry, opts);
+
+  const auto model = registry.find("mlp");
+  // Warm-up request; wait until the worker has popped it and is stalled.
+  auto warm = server.submit(model, model->make_input(kInputSeed, 0));
+  while (server.fault_injector().batcher_delays_injected() == 0) {
+    std::this_thread::yield();
+  }
+  // Fill the queue with best-effort work, then submit interactive: the
+  // newest best-effort request is evicted to make room.
+  auto be0 = server.submit(model, model->make_input(kInputSeed, 1),
+                           {.priority = Priority::kBestEffort});
+  auto be1 = server.submit(model, model->make_input(kInputSeed, 2),
+                           {.priority = Priority::kBestEffort});
+  auto inter = server.submit(model, model->make_input(kInputSeed, 3));
+
+  EXPECT_THROW((void)be1.get(), OverloadError);  // evicted (newest)
+  EXPECT_NO_THROW((void)inter.get());
+  EXPECT_NO_THROW((void)be0.get());
+  EXPECT_NO_THROW((void)warm.get());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.for_priority(Priority::kBestEffort).shed, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(ServeRobustness, EngineFaultsFallBackToScalarOracleByteIdentically) {
+  ModelRegistry registry;
+  populate(registry);
+  const auto expected = solo_outputs(registry, 6);
+
+  ServeOptions opts;
+  opts.max_batch = 3;
+  opts.engine.jobs = 1;
+  opts.engine_retries = 1;
+  opts.retry_backoff = std::chrono::microseconds(50);
+  // Every bit-sliced attempt (primary + retry) fails; every batch must
+  // degrade to the scalar oracle and still return byte-identical outputs.
+  opts.faults.seed = 12;
+  opts.faults.engine_failure_prob = 1.0;
+  InferenceServer server(registry, opts);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        server.submit("convnet", registry.find("convnet")->make_input(
+                                     kInputSeed, i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    InferenceResult res = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(res.output, expected.at({"convnet", i})) << "stream " << i;
+    EXPECT_TRUE(res.via_fallback);
+    EXPECT_EQ(res.engine_attempts, 3);  // primary + 1 retry + fallback
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.fallbacks, stats.batches);
+  EXPECT_EQ(stats.retries, stats.batches * 1u);
+  EXPECT_GE(server.fault_injector().engine_failures_injected(),
+            2 * stats.batches);
+}
+
+TEST(ServeRobustness, FallbackFailureFailsFuturesWithoutKillingWorker) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.batch_deadline = std::chrono::microseconds(0);
+  opts.engine.jobs = 1;
+  opts.engine_retries = 0;
+  opts.retry_backoff = std::chrono::microseconds(0);
+  opts.faults.seed = 13;
+  opts.faults.engine_failure_prob = 1.0;
+  opts.faults.fallback_failure_prob = 1.0;  // scalar fallback fails too
+  InferenceServer server(registry, opts);
+
+  const auto model = registry.find("mlp");
+  auto f0 = server.submit(model, model->make_input(kInputSeed, 0));
+  EXPECT_THROW((void)f0.get(), TransientEngineError);
+
+  // The worker thread survived: a healthy run still completes after we
+  // disable injection... which we cannot do per-request, so instead verify
+  // the *next* request also resolves (exceptionally) rather than hanging.
+  auto f1 = server.submit(model, model->make_input(kInputSeed, 1));
+  EXPECT_THROW((void)f1.get(), TransientEngineError);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.fallbacks, 2u);
 }
 
 TEST(Serve, RegistryErrors) {
