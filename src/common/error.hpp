@@ -68,6 +68,24 @@ class TransientEngineError : public Error {
   explicit TransientEngineError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown by the shard router when a tenant's token bucket is empty: the
+/// tenant exceeded its configured request rate. Distinct from OverloadError
+/// — the system has capacity, this caller has spent its share. Accounted
+/// separately from sheds in RouterStats.
+class TenantQuotaError : public Error {
+ public:
+  explicit TenantQuotaError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a binary model snapshot cannot be decoded: bad magic,
+/// unsupported version, truncated or short-read file, out-of-bounds section
+/// length, checksum mismatch, or a structurally invalid payload. Every
+/// corrupted input must surface as this type — never UB or a crash.
+class SnapshotError : public Error {
+ public:
+  explicit SnapshotError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* cond,
                                        const char* file, int line) {

@@ -42,6 +42,32 @@ class Accumulator {
   double max_ = 0.0;
 };
 
+/// Exponentially weighted moving average: value' = alpha*x + (1-alpha)*value.
+/// The first sample seeds the average directly (no zero bias). Used by the
+/// shard router's per-shard error-rate and latency health signals.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+  }
+  void reset() noexcept {
+    value_ = 0.0;
+    seeded_ = false;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
 /// Fixed-footprint log-bucketed histogram over non-negative 64-bit samples
 /// (nanosecond latencies in practice): 4 sub-buckets per power of two, so
 /// any quantile is recovered with <= ~12.5% relative error from 256 counters

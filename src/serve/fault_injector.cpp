@@ -4,18 +4,34 @@
 
 namespace loom::serve {
 
+namespace {
+
+void expect_prob(double p) {
+  LOOM_EXPECTS(p >= 0.0 && p <= 1.0);
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_(plan),
-      rngs_{CounterRng(plan.seed, kEngine), CounterRng(plan.seed, kFallback),
-            CounterRng(plan.seed, kDelay), CounterRng(plan.seed, kSpike)} {
-  LOOM_EXPECTS(plan_.engine_failure_prob >= 0.0 &&
-               plan_.engine_failure_prob <= 1.0);
-  LOOM_EXPECTS(plan_.fallback_failure_prob >= 0.0 &&
-               plan_.fallback_failure_prob <= 1.0);
-  LOOM_EXPECTS(plan_.batcher_delay_prob >= 0.0 &&
-               plan_.batcher_delay_prob <= 1.0);
-  LOOM_EXPECTS(plan_.queue_spike_prob >= 0.0 && plan_.queue_spike_prob <= 1.0);
+      rngs_{CounterRng(plan.seed, kEngine),
+            CounterRng(plan.seed, kFallback),
+            CounterRng(plan.seed, kDelay),
+            CounterRng(plan.seed, kSpike),
+            CounterRng(plan.seed, kShardKill),
+            CounterRng(plan.seed, kShardStall),
+            CounterRng(plan.seed, kProbeFail),
+            CounterRng(plan.seed, kSnapshotCorrupt)} {
+  expect_prob(plan_.engine_failure_prob);
+  expect_prob(plan_.fallback_failure_prob);
+  expect_prob(plan_.batcher_delay_prob);
+  expect_prob(plan_.queue_spike_prob);
+  expect_prob(plan_.shard_kill_prob);
+  expect_prob(plan_.shard_stall_prob);
+  expect_prob(plan_.probe_failure_prob);
+  expect_prob(plan_.snapshot_corrupt_prob);
   LOOM_EXPECTS(plan_.batcher_delay.count() >= 0);
+  LOOM_EXPECTS(plan_.shard_stall.count() >= 0);
   for (std::size_t s = 0; s < kSites; ++s) {
     next_[s].store(0, std::memory_order_relaxed);
     fired_[s].store(0, std::memory_order_relaxed);
@@ -45,6 +61,32 @@ bool FaultInjector::should_delay_batcher() noexcept {
 
 std::size_t FaultInjector::queue_spike() noexcept {
   return draw(kSpike, plan_.queue_spike_prob) ? plan_.queue_spike_depth : 0;
+}
+
+bool FaultInjector::should_kill_shard() noexcept {
+  return draw(kShardKill, plan_.shard_kill_prob);
+}
+
+bool FaultInjector::should_stall_shard() noexcept {
+  return draw(kShardStall, plan_.shard_stall_prob);
+}
+
+bool FaultInjector::should_fail_probe() noexcept {
+  return draw(kProbeFail, plan_.probe_failure_prob);
+}
+
+std::optional<std::uint64_t> FaultInjector::corrupt_snapshot_bit(
+    std::uint64_t size_bits) noexcept {
+  if (plan_.snapshot_corrupt_prob <= 0.0 || size_bits == 0) return std::nullopt;
+  const std::uint64_t index =
+      next_[kSnapshotCorrupt].fetch_add(1, std::memory_order_relaxed);
+  if (rngs_[kSnapshotCorrupt].uniform(index) >= plan_.snapshot_corrupt_prob) {
+    return std::nullopt;
+  }
+  fired_[kSnapshotCorrupt].fetch_add(1, std::memory_order_relaxed);
+  // A second draw (distinct derived index on the same stream) picks the bit,
+  // so which bit flips is as replayable as whether the site fired.
+  return rngs_[kSnapshotCorrupt].below(index ^ 0x534E415073686F74ull, size_bits);
 }
 
 }  // namespace loom::serve

@@ -61,6 +61,17 @@ std::shared_ptr<const Model> ModelRegistry::add(
   return insert(std::move(model));
 }
 
+std::shared_ptr<const Model> ModelRegistry::add(Model model) {
+  if (model.weights.size() != weighted_layers(model.net)) {
+    throw ConfigError("model '" + model.name + "': " +
+                      std::to_string(model.weights.size()) +
+                      " weight tensors for " +
+                      std::to_string(weighted_layers(model.net)) +
+                      " weighted layers");
+  }
+  return insert(std::make_shared<Model>(std::move(model)));
+}
+
 std::shared_ptr<const Model> ModelRegistry::add_synthetic(
     std::string name, nn::Network net, quant::PrecisionProfile profile,
     std::uint64_t seed) {

@@ -64,6 +64,12 @@ class ModelRegistry {
                                              quant::PrecisionProfile profile,
                                              std::uint64_t seed);
 
+  /// Register a fully materialized model as-is — the snapshot-restore path:
+  /// `model.input_spec` is trusted (no recalibration), so a registry built
+  /// from load_snapshot serves byte-identical outputs to the one that saved
+  /// it. Throws ConfigError on duplicate names or a weight-count mismatch.
+  std::shared_ptr<const Model> add(Model model);
+
   /// Look up a registered model; throws ConfigError when unknown.
   [[nodiscard]] std::shared_ptr<const Model> find(
       const std::string& name) const;

@@ -167,6 +167,20 @@ std::future<InferenceResult> InferenceServer::enqueue(
                       std::to_string(model->input_shape().elements()) +
                       " input values, got " + std::to_string(input.elements()));
   }
+  // Dead-on-arrival fast path: an already-expired absolute deadline is
+  // rejected before admission ever runs — the request is never queued, so
+  // the drain invariant (submitted == completed + shed + timed_out +
+  // failed) is untouched; the refusal lands in `rejected`.
+  if (sopts.deadline_at <= Clock::now()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.rejected;
+      ++stats_.by_class[cls].rejected;
+    }
+    throw DeadlineExceededError(
+        std::string(priority_name(sopts.priority)) +
+        " request rejected at admission: absolute deadline already expired");
+  }
 
   std::vector<Pending> evicted;
   std::future<InferenceResult> fut;
@@ -233,6 +247,7 @@ std::future<InferenceResult> InferenceServer::enqueue(
     p.input = std::move(input);
     p.enqueued = Clock::now();
     if (sopts.deadline.count() > 0) p.deadline = p.enqueued + sopts.deadline;
+    p.deadline = std::min(p.deadline, sopts.deadline_at);
     p.priority = sopts.priority;
     p.sequence = next_sequence_++;
     fut = p.promise.get_future();
@@ -242,6 +257,7 @@ std::future<InferenceResult> InferenceServer::enqueue(
     ++stats_.by_class[cls].submitted;
     stats_.peak_queue_depth =
         std::max<std::uint64_t>(stats_.peak_queue_depth, total_pending_);
+    publish_queue_snapshot();
   }
   for (Pending& v : evicted) {
     v.promise.set_exception(std::make_exception_ptr(OverloadError(
@@ -271,6 +287,36 @@ void InferenceServer::stop() {
 ServerStats InferenceServer::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void InferenceServer::publish_queue_snapshot() noexcept {
+  snap_depth_.store(total_pending_, std::memory_order_relaxed);
+  Clock::time_point oldest = Clock::time_point::max();
+  for (const auto& [model, q] : queues_) {
+    oldest = std::min(oldest, q.earliest_enqueued());
+  }
+  snap_oldest_ns_.store(
+      oldest == Clock::time_point::max()
+          ? kNoOldest
+          : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                oldest.time_since_epoch())
+                .count(),
+      std::memory_order_relaxed);
+}
+
+QueueSnapshot InferenceServer::queue_snapshot() const noexcept {
+  QueueSnapshot s;
+  s.depth = snap_depth_.load(std::memory_order_relaxed);
+  s.inflight = snap_inflight_.load(std::memory_order_relaxed);
+  const std::int64_t oldest = snap_oldest_ns_.load(std::memory_order_relaxed);
+  if (oldest != kNoOldest) {
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    s.oldest_age = std::chrono::nanoseconds(std::max<std::int64_t>(0, now - oldest));
+  }
+  return s;
 }
 
 InferenceServer::ModelQueue* InferenceServer::best_queue() {
@@ -370,6 +416,7 @@ void InferenceServer::worker_loop() {
         }
       }
       total_pending_ -= batch.size();
+      snap_inflight_.fetch_add(batch.size(), std::memory_order_relaxed);
       q->claimed = false;
       if (q->empty()) {
         // Drop the node so ad-hoc (unregistered) models cannot grow the
@@ -383,6 +430,7 @@ void InferenceServer::worker_loop() {
           }
         }
       }
+      publish_queue_snapshot();
     }
     // Other workers may now serve this model's remainder (or observe the
     // drained-shutdown state); producers may refill the freed queue slots.
@@ -516,6 +564,7 @@ void InferenceServer::worker_loop() {
         p.promise.set_exception(err);
       }
     }
+    snap_inflight_.fetch_sub(n, std::memory_order_relaxed);
   }
 }
 

@@ -434,6 +434,78 @@ TEST(Serve, RegistryErrors) {
   EXPECT_THROW((void)registry.add("dup2", std::move(net2), p, {}), ConfigError);
 }
 
+TEST(ServeRobustness, PreExpiredAbsoluteDeadlineRejectsImmediately) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.engine.jobs = 1;
+  InferenceServer server(registry, opts);
+  const auto model = registry.find("mlp");
+
+  const auto expired =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)server.submit(model, model->make_input(kInputSeed, 0),
+                                   {.deadline_at = expired}),
+               DeadlineExceededError);
+  // try_submit must not burn its admission-wait budget on a request that is
+  // already dead: the rejection is immediate even with a long timeout.
+  EXPECT_THROW((void)server.try_submit(model, model->make_input(kInputSeed, 0),
+                                       std::chrono::seconds(10),
+                                       {.deadline_at = expired}),
+               DeadlineExceededError);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+
+  // Dead-on-arrival requests were never admitted: they count as rejected,
+  // and the drain invariant stays exact.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.for_priority(Priority::kInteractive).rejected, 2u);
+
+  // A future-dated absolute deadline admits normally.
+  auto fut = server.submit(
+      model, model->make_input(kInputSeed, 0),
+      {.deadline_at = std::chrono::steady_clock::now() +
+                      std::chrono::seconds(30)});
+  EXPECT_NO_THROW((void)fut.get());
+}
+
+TEST(ServeRobustness, QueueSnapshotTracksPendingAndDrains) {
+  ModelRegistry registry;
+  populate(registry);
+  ServeOptions opts;
+  opts.max_batch = 8;
+  // Hold the batch open so the queued requests are observable.
+  opts.batch_deadline = std::chrono::microseconds(50'000);
+  opts.engine.jobs = 1;
+  InferenceServer server(registry, opts);
+  const auto model = registry.find("mlp");
+
+  const QueueSnapshot idle = server.queue_snapshot();
+  EXPECT_EQ(idle.depth, 0u);
+  EXPECT_EQ(idle.inflight, 0u);
+  EXPECT_EQ(idle.oldest_age.count(), 0);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit(model, model->make_input(kInputSeed, i)));
+  }
+  // The snapshot is published under the server lock before submit returns,
+  // so the queued requests are visible immediately (the batcher may have
+  // popped some already — depth + inflight covers them either way).
+  const QueueSnapshot busy = server.queue_snapshot();
+  EXPECT_GE(busy.depth + busy.inflight, 1u);
+  if (busy.depth > 0) EXPECT_GE(busy.oldest_age.count(), 0);
+
+  for (auto& fut : futures) EXPECT_NO_THROW((void)fut.get());
+  server.stop();  // joins workers: all snapshot decrements have landed
+  const QueueSnapshot drained = server.queue_snapshot();
+  EXPECT_EQ(drained.depth, 0u);
+  EXPECT_EQ(drained.inflight, 0u);
+  EXPECT_EQ(drained.oldest_age.count(), 0);
+}
+
 // ---- Golden digest of server outputs --------------------------------------
 // FNV-1a over the outputs of a fixed request roster served through the
 // batcher, in submission order. Must equal both the pinned constant
