@@ -20,6 +20,7 @@
 #include "serve/model_snapshot.hpp"
 #include "serve/server.hpp"
 #include "serve/shard_router.hpp"
+#include "sim/backend.hpp"
 #include "sim/bitslice_engine.hpp"
 #include "sim/functional.hpp"
 #include "sim/loom_sim.hpp"
@@ -369,6 +370,118 @@ void BM_FunctionalConvLayerThreaded(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * c.net.layer(0).macs());
 }
 BENCHMARK(BM_FunctionalConvLayerThreaded)->Unit(benchmark::kMillisecond);
+
+// ---- LUT backend ------------------------------------------------------------
+// The per-activation-group partial-sum LUT kernel against the bit-sliced
+// engine on a LUT-friendly shape: 2-bit weights (one 1-bit slice plus the
+// negated MSB slice), many output channels to amortize the 256-entry table
+// build, dense 9-bit activations so the bit-sliced plane loop has real work
+// per group. The ratio BM_BitsliceConvLayerLowPw / BM_LutConvLayer is the
+// table kernel's win; BM_AutotunerPick shows "auto" finding it by itself and
+// the ~ns steady-state cost of asking the memo afterwards.
+
+/// Low-Pw LUT showcase: 64ch 14x14 -> 256 filters 3x3, Pa 9 / Pw 2, dense.
+FunctionalBenchCase lut_case() {
+  nn::Network net("lut-bench", nn::Shape3{64, 14, 14});
+  net.add_conv("c", 256, 3, 1, 1).precision_group = 0;
+  quant::PrecisionProfile p;
+  p.network = "lut-bench";
+  p.conv_act = {9};
+  p.conv_weight = 2;
+  quant::apply_profile(net, p);
+  nn::SyntheticSpec act{.precision = 9, .alpha = 1.2, .is_signed = false};
+  nn::SyntheticSpec wsp{.precision = 2, .alpha = 1.2, .is_signed = true};
+  FunctionalBenchCase c{std::move(net), {}, {}};
+  c.input = nn::make_activation_tensor(c.net.layer(0).in, act, 1, 0);
+  c.weights = nn::make_weight_tensor(c.net.layer(0).weight_count(), wsp, 2, 1);
+  return c;
+}
+
+void BM_LutConvLayer(benchmark::State& state) {
+  const FunctionalBenchCase c = lut_case();
+  sim::FunctionalLoomEngine engine(
+      sim::FunctionalOptions{.jobs = 1, .backend = "lut"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_conv(c.net.layer(0), c.input, c.weights, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * c.net.layer(0).macs());
+}
+BENCHMARK(BM_LutConvLayer);
+
+void BM_BitsliceConvLayerLowPw(benchmark::State& state) {
+  // The bit-sliced engine on the identical layer: the head-to-head the
+  // autotuner decides per cell.
+  const FunctionalBenchCase c = lut_case();
+  sim::FunctionalLoomEngine engine(
+      sim::FunctionalOptions{.jobs = 1, .backend = "bitslice"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_conv(c.net.layer(0), c.input, c.weights, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * c.net.layer(0).macs());
+}
+BENCHMARK(BM_BitsliceConvLayerLowPw);
+
+void BM_LutFcLayer(benchmark::State& state) {
+  // FC through the LUT kernel: signed 16-bit activations, 2-bit weights,
+  // 1024 -> 512 (tables built once per input, reused by all 512 rows).
+  nn::Network net("lut-fc", nn::Shape3{1024, 1, 1});
+  net.add_fc("h", 512);
+  quant::PrecisionProfile p;
+  p.network = "lut-fc";
+  p.conv_weight = 2;
+  p.fc_weight = {2};
+  quant::apply_profile(net, p);
+  nn::SyntheticSpec act{.precision = 16, .alpha = 3.0, .is_signed = true};
+  nn::SyntheticSpec wsp{.precision = 2, .alpha = 1.2, .is_signed = true};
+  const nn::Tensor input = nn::make_activation_tensor(net.layer(0).in, act, 1, 0);
+  const nn::Tensor weights =
+      nn::make_weight_tensor(net.layer(0).weight_count(), wsp, 2, 1);
+  sim::FunctionalLoomEngine engine(
+      sim::FunctionalOptions{.jobs = 1, .backend = "lut"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_fc(net.layer(0), input, weights, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * net.layer(0).macs());
+}
+BENCHMARK(BM_LutFcLayer);
+
+void BM_AutotunerPick(benchmark::State& state) {
+  // Converge the low-Pw cell by running the layer through an "auto" engine
+  // (each run samples one candidate on real work), then time the memoized
+  // choose() — the steady-state per-layer overhead of "auto". The label
+  // reports the kernel the tuner picked on this machine.
+  const FunctionalBenchCase c = lut_case();
+  const nn::Layer& layer = c.net.layer(0);
+  const sim::BackendContext ctx{.jobs = 1};
+  const sim::BitsliceEngine::SliceSpec spec{
+      .act_precision = layer.act_precision,
+      .weight_precision = layer.weight_precision,
+      .act_signed = false,
+      .dynamic = true};
+  const sim::TuneKey key = sim::conv_tune_key(layer, spec, 1, ctx);
+  const std::vector<std::string> candidates =
+      sim::BackendRegistry::instance().tunable_names(ctx);
+  sim::BackendAutotuner& tuner = sim::BackendAutotuner::instance();
+
+  sim::FunctionalLoomEngine engine(
+      sim::FunctionalOptions{.jobs = 1, .backend = "auto"});
+  std::string winner;
+  for (int i = 0; i < 16 && winner.empty(); ++i) {
+    benchmark::DoNotOptimize(engine.run_conv(layer, c.input, c.weights, 16));
+    for (const auto& d : tuner.decisions()) {
+      if (d.key == key && !d.winner.empty()) winner = d.winner;
+    }
+  }
+  state.SetLabel("winner=" + (winner.empty() ? "undecided" : winner));
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.choose(key, candidates));
+  }
+}
+BENCHMARK(BM_AutotunerPick);
 
 // ---- Batched serving throughput -------------------------------------------
 // Lane-packed multi-request execution vs one image at a time, in images/sec

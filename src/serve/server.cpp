@@ -509,6 +509,9 @@ void InferenceServer::worker_loop() {
         stats_.peak_batch = std::max<std::uint64_t>(stats_.peak_batch, n);
         stats_.retries += retries;
         if (fell_back) ++stats_.fallbacks;
+        for (const sim::FunctionalBatchLayerRun& lr : run.layers) {
+          ++stats_.backend_layer_runs[lr.backend];
+        }
         for (std::size_t i = 0; i < n; ++i) {
           const auto c = static_cast<std::size_t>(batch[i].priority);
           if (batch[i].has_deadline() && batch[i].deadline <= t1) {

@@ -52,6 +52,7 @@
 #include <deque>
 #include <future>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -191,6 +192,10 @@ struct ServerStats {
   std::uint64_t fallbacks = 0;      ///< batches degraded to the scalar oracle
   std::uint64_t peak_queue_depth = 0;
   std::uint64_t peak_batch = 0;
+  /// Layer runs per functional kernel ("scalar", "bitslice", "lut", ...):
+  /// which backend actually served each weighted layer, fallback runs
+  /// included — the observable trace of autotuner + degradation decisions.
+  std::map<std::string, std::uint64_t> backend_layer_runs;
   std::array<ClassStats, kPriorityClasses> by_class;
 
   [[nodiscard]] const ClassStats& for_priority(Priority p) const {

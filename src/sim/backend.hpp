@@ -1,0 +1,192 @@
+// Functional backend registry + per-layer autotuner.
+//
+// A FunctionalBackend is one interchangeable kernel implementation of the
+// functional engines' layer math: exact integer conv/FC accumulators plus
+// the analytic streaming statistics (BitsliceEngine::ConvStats) the
+// dispatcher-driven scalar grid would report. Every backend is held to the
+// same contract — byte-identical accumulators AND byte-identical stats —
+// so FunctionalLoomEngine can swap kernels per layer without any observable
+// difference beyond wall-clock time (pinned by
+// tests/test_backend_differential.cpp).
+//
+// Registered built-ins:
+//   scalar     — the arch::Sip oracle, bit-by-bit through a dispatcher
+//                (ground truth; never an autotuner candidate)
+//   bitslice   — 64 SIP columns per machine word (sim/bitslice_engine.hpp)
+//   lut        — T-MAC-style per-activation-group partial-sum LUTs
+//                (sim/lut_engine.hpp), L1-tiled table working set
+//   lut-outer  — the LUT kernel with all tables built up front (one big
+//                working set; wins when the whole slab's tables fit cache)
+//
+// Backend selection (resolve_backend_name): FunctionalOptions::force_scalar
+// or LOOM_FUNCTIONAL_SCALAR pick "scalar"; otherwise an explicit
+// FunctionalOptions::backend, then the LOOM_FUNCTIONAL_BACKEND environment
+// variable, then "auto". "auto" hands each (layer geometry, precision,
+// batch) cell to the BackendAutotuner, which samples every tunable backend
+// once on the real layer run, memoizes the fastest, and exposes its
+// decisions; LOOM_AUTOTUNE_PIN=<name> pins every cell for reproducible
+// runs. A named backend that cannot pack the grid falls back to "scalar",
+// matching the historical cols>64 behavior.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+#include "sim/bitslice_engine.hpp"
+
+namespace loom::sim {
+
+/// The grid shape a backend instance is built for (mirrors the engine's
+/// FunctionalOptions rows/cols/lanes/jobs).
+struct BackendContext {
+  int rows = 16;
+  int cols = 16;
+  int lanes = 16;
+  int jobs = 1;
+};
+
+/// One functional kernel. Conv returns the analytic streaming stats; FC
+/// reports none (the FC cycle model is analytic in the engine). Instances
+/// are engine-confined: calls need no internal synchronization beyond what
+/// the implementation's own (group, slab) fan-out does.
+class FunctionalBackend {
+ public:
+  virtual ~FunctionalBackend() = default;
+
+  virtual BitsliceEngine::ConvStats run_conv_batch(
+      const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+      const nn::Tensor& weights, const BitsliceEngine::SliceSpec& spec,
+      std::span<nn::WideTensor* const> wides) = 0;
+
+  virtual void run_fc(const nn::Layer& layer, const nn::Tensor& input,
+                      const nn::Tensor& weights, int weight_precision,
+                      nn::WideTensor& wide) = 0;
+
+  virtual void run_fc_batch(const nn::Layer& layer,
+                            std::span<const nn::Tensor* const> inputs,
+                            const nn::Tensor& weights, int weight_precision,
+                            std::span<nn::WideTensor* const> wides) = 0;
+};
+
+/// Registry entry: plain function pointers so registration is a static
+/// data operation (no captured state to synchronize).
+struct BackendInfo {
+  std::string name;
+  /// Autotuner candidate? The scalar oracle is registered non-tunable: it
+  /// exists for ground truth and fallback, and is never competitive.
+  bool tunable = false;
+  bool (*supports)(const BackendContext&) = nullptr;
+  std::unique_ptr<FunctionalBackend> (*make)(const BackendContext&) = nullptr;
+};
+
+/// Process-wide named-backend table. Built-ins self-register on first
+/// access; tests may register additional backends (by a fresh name, or
+/// re-registering an existing one replaces it) and they automatically gain
+/// differential-test coverage.
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  void register_backend(BackendInfo info);
+  /// nullptr when `name` is not registered.
+  [[nodiscard]] const BackendInfo* find(std::string_view name) const;
+  /// Every registered name, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Tunable backends whose supports() accepts `ctx`, registration order —
+  /// the autotuner candidate list (deterministic sampling order).
+  [[nodiscard]] std::vector<std::string> tunable_names(
+      const BackendContext& ctx) const;
+
+ private:
+  BackendRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state, never destroyed
+};
+
+/// Resolve the backend an engine will run: "scalar", "auto", or a concrete
+/// registered name. `requested` is FunctionalOptions::backend ("" = defer
+/// to LOOM_FUNCTIONAL_BACKEND, then "auto"). Precedence: force_scalar /
+/// LOOM_FUNCTIONAL_SCALAR first (preserved escape hatch), explicit request
+/// next, environment last. Unknown names throw ConfigError; a known name
+/// (or "auto" with no viable candidate) that cannot pack `ctx` resolves to
+/// "scalar".
+[[nodiscard]] std::string resolve_backend_name(std::string_view requested,
+                                               bool force_scalar,
+                                               const BackendContext& ctx);
+
+/// One autotuner memoization cell: a layer's geometry + streamed
+/// precisions + batch + grid. Everything that changes which kernel wins.
+struct TuneKey {
+  int kind = 0;  ///< 0 = conv, 1 = fc
+  std::int64_t in_c = 0, in_h = 0, in_w = 0, out_c = 0;
+  int kernel_h = 0, kernel_w = 0, stride = 1, pad = 0, groups = 1;
+  int pa = 0, pw = 0;
+  bool act_signed = false;
+  bool dynamic = false;
+  int batch = 1;
+  int rows = 0, cols = 0, lanes = 0;
+
+  friend bool operator==(const TuneKey&, const TuneKey&) = default;
+  friend auto operator<=>(const TuneKey&, const TuneKey&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] TuneKey conv_tune_key(const nn::Layer& layer,
+                                    const BitsliceEngine::SliceSpec& spec,
+                                    int batch, const BackendContext& ctx);
+[[nodiscard]] TuneKey fc_tune_key(const nn::Layer& layer, int weight_precision,
+                                  int batch, const BackendContext& ctx);
+
+/// Thread-safe process-wide winner memo. choose() hands back the memoized
+/// winner, or — while a cell is still being explored — the next unsampled
+/// candidate so the timing piggybacks on a real layer run (every candidate
+/// computes identical bytes, so exploration is free of rework). record()
+/// feeds the measured wall clock back; once every candidate has a sample
+/// the argmin wins (first-registered wins ties). LOOM_AUTOTUNE_PIN=<name>
+/// short-circuits every cell whose candidate list contains <name> — the
+/// reproducibility switch for tests and CI. Timing can be overridden with
+/// an injected function for deterministic autotuner tests.
+class BackendAutotuner {
+ public:
+  static BackendAutotuner& instance();
+
+  [[nodiscard]] std::string choose(const TuneKey& key,
+                                   std::span<const std::string> candidates);
+  void record(const TuneKey& key, std::string_view backend, std::uint64_t ns);
+
+  struct Sample {
+    std::string backend;
+    std::uint64_t ns = 0;
+  };
+  struct Decision {
+    TuneKey key;
+    std::string winner;  ///< empty while the cell is still exploring
+    bool pinned = false;
+    std::vector<Sample> samples;
+  };
+  /// Snapshot of every cell, deterministic (key-sorted) order.
+  [[nodiscard]] std::vector<Decision> decisions() const;
+
+  /// Deterministic timing for tests: when set, choose() samples every
+  /// candidate through `fn` immediately and decides the cell. Null resets
+  /// to wall-clock timing.
+  void set_timing_override_for_test(
+      std::function<std::uint64_t(const TuneKey&, const std::string&)> fn);
+  /// Drop all cells and re-read LOOM_AUTOTUNE_PIN (tests mutate the
+  /// environment between cases).
+  void reset_for_test();
+
+ private:
+  BackendAutotuner();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state, never destroyed
+};
+
+}  // namespace loom::sim

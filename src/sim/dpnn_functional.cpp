@@ -1,6 +1,7 @@
 #include "sim/dpnn_functional.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "nn/im2col.hpp"
@@ -17,18 +18,16 @@ Value window_value(const nn::Layer& layer, const nn::Tensor& input,
   return idx < 0 ? 0 : input.flat(idx);
 }
 
-/// The bit-sliced engine configured for DPNN semantics: every operand at
-/// full signed 16-bit precision, no dynamic trimming. `rows`/`cols` only
-/// shape the slab walk — the exact accumulators do not depend on them.
-BitsliceEngine::Options dpnn_slice_options(const DpnnFunctionalOptions& opts) {
-  return BitsliceEngine::Options{.rows = opts.filters,
-                                 .cols = 16,
-                                 .lanes = opts.act_lanes,
-                                 .jobs = opts.jobs};
-}
+/// DPNN semantics for the word-parallel backends: every operand at full
+/// signed 16-bit precision, no dynamic trimming. `rows`/`cols` only shape
+/// the slab walk — the exact accumulators do not depend on them.
+constexpr BitsliceEngine::SliceSpec kDpnnSpec{.act_precision = kBasePrecision,
+                                              .weight_precision = kBasePrecision,
+                                              .act_signed = true,
+                                              .dynamic = false};
 
 /// Allocate one run per request (accumulators of `wide_shape`) and marshal
-/// the pointer views the bit-sliced engine consumes.
+/// the pointer views the word-parallel backends consume.
 std::vector<DpnnFunctionalRun> make_runs(
     const nn::Layer& layer, std::span<const nn::Tensor> inputs,
     const nn::Shape& wide_shape, std::vector<const nn::Tensor*>& in_ptrs,
@@ -59,13 +58,69 @@ void finalize_runs(std::vector<DpnnFunctionalRun>& runs, std::uint64_t cycles,
   }
 }
 
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 FunctionalDpnnEngine::FunctionalDpnnEngine(DpnnFunctionalOptions opts)
     : opts_(opts) {
   LOOM_EXPECTS(opts.act_lanes >= 1 && opts.filters >= 1);
-  use_bitslice_ = !opts_.force_scalar && !functional_scalar_env() &&
-                  BitsliceEngine::supports(dpnn_slice_options(opts_));
+  ctx_ = BackendContext{.rows = opts_.filters,
+                        .cols = 16,
+                        .lanes = opts_.act_lanes,
+                        .jobs = opts_.jobs};
+  resolved_ = resolve_backend_name(opts_.backend, opts_.force_scalar, ctx_);
+  if (resolved_ == "auto") {
+    candidates_ = BackendRegistry::instance().tunable_names(ctx_);
+  }
+}
+
+FunctionalBackend& FunctionalDpnnEngine::backend_for(const std::string& name) {
+  auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    const BackendInfo* info = BackendRegistry::instance().find(name);
+    LOOM_EXPECTS(info != nullptr);
+    it = backends_.emplace(name, info->make(ctx_)).first;
+  }
+  return *it->second;
+}
+
+void FunctionalDpnnEngine::dispatch_conv(
+    const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+    const nn::Tensor& weights, std::span<nn::WideTensor* const> wides) {
+  if (resolved_ != "auto") {
+    (void)backend_for(resolved_).run_conv_batch(layer, inputs, weights,
+                                                kDpnnSpec, wides);
+    return;
+  }
+  const TuneKey key =
+      conv_tune_key(layer, kDpnnSpec, static_cast<int>(inputs.size()), ctx_);
+  const std::string used = BackendAutotuner::instance().choose(key, candidates_);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)backend_for(used).run_conv_batch(layer, inputs, weights, kDpnnSpec,
+                                         wides);
+  BackendAutotuner::instance().record(key, used, elapsed_ns(t0));
+}
+
+void FunctionalDpnnEngine::dispatch_fc(
+    const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+    const nn::Tensor& weights, std::span<nn::WideTensor* const> wides) {
+  if (resolved_ != "auto") {
+    backend_for(resolved_).run_fc_batch(layer, inputs, weights, kBasePrecision,
+                                        wides);
+    return;
+  }
+  const TuneKey key =
+      fc_tune_key(layer, kBasePrecision, static_cast<int>(inputs.size()), ctx_);
+  const std::string used = BackendAutotuner::instance().choose(key, candidates_);
+  const auto t0 = std::chrono::steady_clock::now();
+  backend_for(used).run_fc_batch(layer, inputs, weights, kBasePrecision, wides);
+  BackendAutotuner::instance().record(key, used, elapsed_ns(t0));
 }
 
 DpnnFunctionalRun FunctionalDpnnEngine::run_conv(const nn::Layer& layer,
@@ -84,13 +139,11 @@ DpnnFunctionalRun FunctionalDpnnEngine::run_conv(const nn::Layer& layer,
   const std::int64_t fb_count = ceil_div(cog, opts_.filters);
   const std::int64_t ic_count = ceil_div(inner, lanes);
 
-  if (use_bitslice_) {
-    BitsliceEngine engine(dpnn_slice_options(opts_));
-    const BitsliceEngine::SliceSpec spec{.act_precision = kBasePrecision,
-                                         .weight_precision = kBasePrecision,
-                                         .act_signed = true,
-                                         .dynamic = false};
-    (void)engine.run_conv(layer, input, weights, spec, run.wide);
+  if (resolved_ != "scalar") {
+    const nn::Tensor* in_ptr = &input;
+    nn::WideTensor* wide_ptr = &run.wide;
+    dispatch_conv(layer, std::span<const nn::Tensor* const>(&in_ptr, 1),
+                  weights, std::span<nn::WideTensor* const>(&wide_ptr, 1));
     // The baseline schedule is data-independent: one cycle per (filter
     // block, window, input chunk).
     run.cycles = static_cast<std::uint64_t>(layer.groups) *
@@ -153,7 +206,7 @@ std::vector<DpnnFunctionalRun> FunctionalDpnnEngine::run_conv_batch(
   std::vector<DpnnFunctionalRun> runs;
   runs.reserve(batch);
 
-  if (!use_bitslice_) {
+  if (resolved_ == "scalar") {
     for (std::size_t r = 0; r < batch; ++r) {
       runs.push_back(run_conv(layer, inputs[r], weights, out_bits));
     }
@@ -165,12 +218,7 @@ std::vector<DpnnFunctionalRun> FunctionalDpnnEngine::run_conv_batch(
   runs = make_runs(layer, inputs,
                    nn::Shape{layer.out.c, layer.out.h, layer.out.w}, in_ptrs,
                    wide_ptrs);
-  BitsliceEngine engine(dpnn_slice_options(opts_));
-  const BitsliceEngine::SliceSpec spec{.act_precision = kBasePrecision,
-                                       .weight_precision = kBasePrecision,
-                                       .act_signed = true,
-                                       .dynamic = false};
-  (void)engine.run_conv_batch(layer, in_ptrs, weights, spec, wide_ptrs);
+  dispatch_conv(layer, in_ptrs, weights, wide_ptrs);
 
   const std::int64_t fb_count =
       ceil_div(layer.group_out_channels(), opts_.filters);
@@ -194,7 +242,7 @@ std::vector<DpnnFunctionalRun> FunctionalDpnnEngine::run_fc_batch(
   std::vector<DpnnFunctionalRun> runs;
   runs.reserve(batch);
 
-  if (!use_bitslice_) {
+  if (resolved_ == "scalar") {
     for (std::size_t r = 0; r < batch; ++r) {
       runs.push_back(run_fc(layer, inputs[r], weights, out_bits));
     }
@@ -205,8 +253,7 @@ std::vector<DpnnFunctionalRun> FunctionalDpnnEngine::run_fc_batch(
   std::vector<nn::WideTensor*> wide_ptrs;
   runs = make_runs(layer, inputs, nn::Shape{layer.out.c, 1, 1}, in_ptrs,
                    wide_ptrs);
-  BitsliceEngine engine(dpnn_slice_options(opts_));
-  engine.run_fc_batch(layer, in_ptrs, weights, kBasePrecision, wide_ptrs);
+  dispatch_fc(layer, in_ptrs, weights, wide_ptrs);
 
   const std::int64_t fb_count =
       ceil_div(static_cast<std::int64_t>(layer.out.c), opts_.filters);
@@ -234,9 +281,11 @@ DpnnFunctionalRun FunctionalDpnnEngine::run_fc(const nn::Layer& layer,
                                          opts_.filters);
   const std::int64_t ic_count = ceil_div(ci, static_cast<std::int64_t>(lanes));
 
-  if (use_bitslice_) {
-    BitsliceEngine engine(dpnn_slice_options(opts_));
-    engine.run_fc(layer, input, weights, kBasePrecision, run.wide);
+  if (resolved_ != "scalar") {
+    const nn::Tensor* in_ptr = &input;
+    nn::WideTensor* wide_ptr = &run.wide;
+    dispatch_fc(layer, std::span<const nn::Tensor* const>(&in_ptr, 1), weights,
+                std::span<nn::WideTensor* const>(&wide_ptr, 1));
     run.cycles = static_cast<std::uint64_t>(fb_count) *
                  static_cast<std::uint64_t>(ic_count);
   } else {

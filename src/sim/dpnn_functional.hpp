@@ -4,21 +4,27 @@
 // window-sequential schedule — the ground truth the DPNN cycle model is
 // cross-validated against.
 //
-// Values are computed by the bit-sliced engine at full signed 16-bit
-// precision for both operands (bit-identical to driving arch::IpUnit cycle
-// by cycle); cycle counts follow the exact chunk schedule the scalar loop
-// walks. Set DpnnFunctionalOptions::force_scalar or LOOM_FUNCTIONAL_SCALAR
-// to drive the scalar IP units instead.
+// Values are computed by a registry backend (sim/backend.hpp) at full
+// signed 16-bit precision for both operands (bit-identical to driving
+// arch::IpUnit cycle by cycle); cycle counts follow the exact chunk
+// schedule the scalar loop walks. Set DpnnFunctionalOptions::force_scalar
+// or LOOM_FUNCTIONAL_SCALAR to drive the scalar IP units instead; the
+// DpnnFunctionalOptions::backend / LOOM_FUNCTIONAL_BACKEND selection and
+// the "auto" autotuner work exactly as on the Loom engine.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "arch/ip_unit.hpp"
 #include "nn/network.hpp"
 #include "nn/reference.hpp"
 #include "nn/tensor.hpp"
+#include "sim/backend.hpp"
 
 namespace loom::sim {
 
@@ -26,10 +32,14 @@ struct DpnnFunctionalOptions {
   int act_lanes = 16;
   int filters = 8;
   bool relu = true;
-  /// Worker threads for the bit-sliced backend (0 = all, 1 = serial).
+  /// Worker threads for the word-parallel backends (0 = all, 1 = serial).
   int jobs = 0;
   /// Force the scalar arch::IpUnit oracle (also: LOOM_FUNCTIONAL_SCALAR=1).
   bool force_scalar = false;
+  /// Kernel selection, as FunctionalOptions::backend: "" defers to
+  /// LOOM_FUNCTIONAL_BACKEND, then "auto". "scalar" selects the IpUnit
+  /// oracle (DPNN's own scalar semantics, not the registry's SIP grid).
+  std::string backend = {};
 };
 
 struct DpnnFunctionalRun {
@@ -53,7 +63,7 @@ class FunctionalDpnnEngine {
                                          const nn::Tensor& weights,
                                          int out_bits);
 
-  /// Batched variants: one coalesced bit-sliced pass over N same-shape
+  /// Batched variants: one coalesced word-parallel pass over N same-shape
   /// requests (the scalar oracle falls back to N solo runs). Each returned
   /// run is byte-identical to the corresponding solo run — the DPNN
   /// baseline's window-sequential schedule is data-independent, so even the
@@ -68,13 +78,31 @@ class FunctionalDpnnEngine {
   [[nodiscard]] const DpnnFunctionalOptions& options() const noexcept {
     return opts_;
   }
+  /// "scalar", "auto", or a concrete registered backend name; resolved at
+  /// construction like FunctionalLoomEngine (force_scalar, the environment
+  /// hatches, or an unpackable configuration select the scalar oracle).
+  [[nodiscard]] const std::string& backend_name() const noexcept {
+    return resolved_;
+  }
 
  private:
+  FunctionalBackend& backend_for(const std::string& name);
+  /// Run one conv/fc batch on the selected kernel (never "scalar" — callers
+  /// branch to the IpUnit loops first); under "auto" consults the autotuner.
+  void dispatch_conv(const nn::Layer& layer,
+                     std::span<const nn::Tensor* const> inputs,
+                     const nn::Tensor& weights,
+                     std::span<nn::WideTensor* const> wides);
+  void dispatch_fc(const nn::Layer& layer,
+                   std::span<const nn::Tensor* const> inputs,
+                   const nn::Tensor& weights,
+                   std::span<nn::WideTensor* const> wides);
+
   DpnnFunctionalOptions opts_;
-  /// Decided at construction, like FunctionalLoomEngine: force_scalar,
-  /// the LOOM_FUNCTIONAL_SCALAR environment hatch, or an unpackable
-  /// configuration select the scalar IpUnit oracle.
-  bool use_bitslice_ = false;
+  BackendContext ctx_;
+  std::string resolved_;
+  std::vector<std::string> candidates_;  ///< tuner candidates under "auto"
+  std::map<std::string, std::unique_ptr<FunctionalBackend>> backends_;
 };
 
 }  // namespace loom::sim

@@ -1,12 +1,11 @@
 #include "sim/functional.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
-#include "arch/tile.hpp"
 #include "common/error.hpp"
-#include "nn/im2col.hpp"
 #include "sim/loom_sim.hpp"
 
 namespace loom::sim {
@@ -27,23 +26,7 @@ int consumer_out_bits(const nn::Network& net, std::size_t i) {
   return static_cast<int>(kBasePrecision);
 }
 
-/// Gather the window values of one (group, window) at inner positions
-/// [base, base+lanes) with zero padding into `out`, matching the im2col
-/// order the cycle model uses. Returns the number of values written.
-std::int64_t gather_window_chunk(const nn::Layer& layer,
-                                 const nn::Tensor& input, std::int64_t g,
-                                 std::int64_t window, std::int64_t base,
-                                 int lanes, Value* out) {
-  const std::int64_t end =
-      std::min<std::int64_t>(base + lanes, layer.inner_length());
-  for (std::int64_t f = base; f < end; ++f) {
-    const std::int64_t idx = nn::im2col_input_index(layer, g, window, f);
-    out[f - base] = idx < 0 ? Value{0} : input.flat(idx);
-  }
-  return end - base;
-}
-
-/// Marshal a batch into the pointer views BitsliceEngine consumes.
+/// Marshal a batch into the pointer views the backends consume.
 void batch_ptrs(std::span<const nn::Tensor> inputs,
                 std::vector<nn::WideTensor>& wides,
                 std::vector<const nn::Tensor*>& in_ptrs,
@@ -68,6 +51,13 @@ void requantize_batch(FunctionalBatchLayerRun& run, int out_bits, bool relu) {
   }
 }
 
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 bool functional_scalar_env() {
@@ -79,102 +69,65 @@ FunctionalLoomEngine::FunctionalLoomEngine(FunctionalOptions opts)
     : opts_(opts), dispatcher_(opts.lanes) {
   LOOM_EXPECTS(opts.rows >= 1 && opts.cols >= 1);
   LOOM_EXPECTS(opts.lanes >= 1 && opts.lanes <= 32);
-  const BitsliceEngine::Options bs{.rows = opts_.rows,
-                                   .cols = opts_.cols,
-                                   .lanes = opts_.lanes,
-                                   .jobs = opts_.jobs};
-  if (!opts_.force_scalar && !functional_scalar_env() &&
-      BitsliceEngine::supports(bs)) {
-    bitslice_.emplace(bs);
+  ctx_ = BackendContext{.rows = opts_.rows,
+                        .cols = opts_.cols,
+                        .lanes = opts_.lanes,
+                        .jobs = opts_.jobs};
+  resolved_ = resolve_backend_name(opts_.backend, opts_.force_scalar, ctx_);
+  if (resolved_ == "auto") {
+    candidates_ = BackendRegistry::instance().tunable_names(ctx_);
   }
 }
 
-std::uint64_t FunctionalLoomEngine::run_conv_block(
-    const nn::Layer& layer, const nn::Tensor& input, const nn::Tensor& weights,
-    std::int64_t g, std::int64_t fb, std::int64_t wb, nn::WideTensor& wide,
-    double& streamed_pa, std::int64_t& chunks) {
-  const std::int64_t cog = layer.group_out_channels();
-  const std::int64_t inner = layer.inner_length();
-  const std::int64_t windows = layer.windows();
-  const std::int64_t row0 = fb * opts_.rows;
-  const std::int64_t rows_used = std::min<std::int64_t>(opts_.rows, cog - row0);
-  const std::int64_t col0 = wb * opts_.cols;
-  const std::int64_t cols_used = std::min<std::int64_t>(opts_.cols, windows - col0);
-
-  // One SIP per (row, col); ORs accumulate across input chunks.
-  const arch::SipConfig sip_cfg{opts_.lanes, /*act_signed=*/false,
-                                /*weight_signed=*/true};
-  std::vector<arch::Sip> sips(
-      static_cast<std::size_t>(rows_used) * static_cast<std::size_t>(cols_used),
-      arch::Sip(sip_cfg));
-  for (auto& sip : sips) sip.begin_output();
-
-  std::uint64_t block_cycles = 0;
-  const std::int64_t ic_count = ceil_div(inner, opts_.lanes);
-  const auto lanes = static_cast<std::size_t>(opts_.lanes);
-  for (std::int64_t ic = 0; ic < ic_count; ++ic) {
-    // Dispatcher: serialize the activation group (with dynamic detection)
-    // and the weight rows for this chunk, reusing the engine scratch.
-    act_spans_.clear();
-    std::int64_t n = 0;
-    for (std::int64_t c = 0; c < cols_used; ++c) {
-      Value* dst = act_buf_.data() + static_cast<std::size_t>(c) * lanes;
-      n = gather_window_chunk(layer, input, g, col0 + c, ic * opts_.lanes,
-                              opts_.lanes, dst);
-      act_spans_.emplace_back(dst, static_cast<std::size_t>(n));
-    }
-    dispatcher_.stream_activations(act_spans_, layer.act_precision,
-                                   opts_.dynamic_act_precision, act_stream_);
-    const arch::ActivationStream& acts = act_stream_;
-
-    weight_spans_.clear();
-    for (std::int64_t r = 0; r < rows_used; ++r) {
-      Value* dst = weight_buf_.data() + static_cast<std::size_t>(r) * lanes;
-      const std::int64_t co = g * cog + row0 + r;
-      const std::int64_t base = co * inner + ic * opts_.lanes;
-      for (std::int64_t l = 0; l < n; ++l) dst[l] = weights.flat(base + l);
-      weight_spans_.emplace_back(dst, static_cast<std::size_t>(n));
-    }
-    dispatcher_.stream_weights(weight_spans_, layer.weight_precision,
-                               weight_stream_);
-    const arch::WeightStream& wbits = weight_stream_;
-
-    // Drive the grid: for each weight-bit pass, all SIPs in a row load the
-    // same WR word, then the activation bits stream MSB-first.
-    streamed_pa += acts.precision;
-    ++chunks;
-    for (int bit = 0; bit < wbits.precision; ++bit) {
-      const bool msb = bit == wbits.precision - 1;
-      for (std::int64_t r = 0; r < rows_used; ++r) {
-        const std::uint32_t wr = wbits.wr_word(bit, static_cast<int>(r));
-        for (std::int64_t c = 0; c < cols_used; ++c) {
-          sips[static_cast<std::size_t>(r * cols_used + c)].begin_weight_pass(
-              wr, bit, msb);
-        }
-      }
-      for (int step = 0; step < acts.precision; ++step) {
-        for (std::int64_t c = 0; c < cols_used; ++c) {
-          const std::uint32_t bits = acts.lanes(step, static_cast<int>(c));
-          for (std::int64_t r = 0; r < rows_used; ++r) {
-            sips[static_cast<std::size_t>(r * cols_used + c)].cycle(
-                bits, /*is_act_msb=*/false);  // conv activations are unsigned
-          }
-        }
-        ++block_cycles;
-      }
-      for (auto& sip : sips) sip.end_weight_pass();
-    }
+FunctionalBackend& FunctionalLoomEngine::backend_for(const std::string& name) {
+  auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    const BackendInfo* info = BackendRegistry::instance().find(name);
+    LOOM_EXPECTS(info != nullptr);
+    it = backends_.emplace(name, info->make(ctx_)).first;
   }
+  return *it->second;
+}
 
-  for (std::int64_t r = 0; r < rows_used; ++r) {
-    for (std::int64_t c = 0; c < cols_used; ++c) {
-      const std::int64_t co = g * cog + row0 + r;
-      const std::int64_t window = col0 + c;
-      wide.at3(co, window / layer.out.w, window % layer.out.w) =
-          sips[static_cast<std::size_t>(r * cols_used + c)].output();
-    }
+BitsliceEngine::ConvStats FunctionalLoomEngine::dispatch_conv(
+    const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+    const nn::Tensor& weights, const BitsliceEngine::SliceSpec& spec,
+    std::span<nn::WideTensor* const> wides, std::string& used) {
+  if (resolved_ != "auto") {
+    used = resolved_;
+    return backend_for(used).run_conv_batch(layer, inputs, weights, spec,
+                                            wides);
   }
-  return block_cycles;
+  // Every candidate computes identical bytes, so exploration piggybacks on
+  // real layer runs: the tuner hands out whichever kernel it still needs a
+  // timing for, and the measurement is the run the caller wanted anyway.
+  const TuneKey key =
+      conv_tune_key(layer, spec, static_cast<int>(inputs.size()), ctx_);
+  used = BackendAutotuner::instance().choose(key, candidates_);
+  const auto t0 = std::chrono::steady_clock::now();
+  const BitsliceEngine::ConvStats st =
+      backend_for(used).run_conv_batch(layer, inputs, weights, spec, wides);
+  BackendAutotuner::instance().record(key, used, elapsed_ns(t0));
+  return st;
+}
+
+void FunctionalLoomEngine::dispatch_fc(
+    const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+    const nn::Tensor& weights, std::span<nn::WideTensor* const> wides,
+    std::string& used) {
+  if (resolved_ != "auto") {
+    used = resolved_;
+    backend_for(used).run_fc_batch(layer, inputs, weights,
+                                   layer.weight_precision, wides);
+    return;
+  }
+  const TuneKey key = fc_tune_key(layer, layer.weight_precision,
+                                  static_cast<int>(inputs.size()), ctx_);
+  used = BackendAutotuner::instance().choose(key, candidates_);
+  const auto t0 = std::chrono::steady_clock::now();
+  backend_for(used).run_fc_batch(layer, inputs, weights,
+                                 layer.weight_precision, wides);
+  BackendAutotuner::instance().record(key, used, elapsed_ns(t0));
 }
 
 FunctionalLayerRun FunctionalLoomEngine::run_conv(const nn::Layer& layer,
@@ -187,40 +140,22 @@ FunctionalLayerRun FunctionalLoomEngine::run_conv(const nn::Layer& layer,
   run.out_bits = out_bits;
   run.wide = nn::WideTensor(nn::Shape{layer.out.c, layer.out.h, layer.out.w});
 
-  double streamed_pa = 0.0;
-  std::int64_t chunks = 0;
-  if (bitslice_) {
-    const BitsliceEngine::SliceSpec spec{
-        .act_precision = layer.act_precision,
-        .weight_precision = layer.weight_precision,
-        .act_signed = false,
-        .dynamic = opts_.dynamic_act_precision};
-    const BitsliceEngine::ConvStats st =
-        bitslice_->run_conv(layer, input, weights, spec, run.wide);
-    run.cycles = st.cycles;
-    streamed_pa = st.streamed_pa;
-    chunks = st.chunks;
-    dispatcher_.note_streamed(st.act_bits_streamed, st.weight_bits_streamed,
-                              st.detect_invocations, st.detect_values);
-  } else {
-    act_buf_.resize(static_cast<std::size_t>(opts_.cols) *
-                    static_cast<std::size_t>(opts_.lanes));
-    weight_buf_.resize(static_cast<std::size_t>(opts_.rows) *
-                       static_cast<std::size_t>(opts_.lanes));
-    const std::int64_t windows = layer.windows();
-    const std::int64_t fb_count = ceil_div(layer.group_out_channels(), opts_.rows);
-    const std::int64_t wb_count = ceil_div(windows, opts_.cols);
-    for (std::int64_t g = 0; g < layer.groups; ++g) {
-      for (std::int64_t fb = 0; fb < fb_count; ++fb) {
-        for (std::int64_t wb = 0; wb < wb_count; ++wb) {
-          run.cycles += run_conv_block(layer, input, weights, g, fb, wb,
-                                       run.wide, streamed_pa, chunks);
-        }
-      }
-    }
-  }
+  const BitsliceEngine::SliceSpec spec{
+      .act_precision = layer.act_precision,
+      .weight_precision = layer.weight_precision,
+      .act_signed = false,
+      .dynamic = opts_.dynamic_act_precision};
+  const nn::Tensor* in_ptr = &input;
+  nn::WideTensor* wide_ptr = &run.wide;
+  const BitsliceEngine::ConvStats st =
+      dispatch_conv(layer, std::span<const nn::Tensor* const>(&in_ptr, 1),
+                    weights, spec, std::span<nn::WideTensor* const>(&wide_ptr, 1),
+                    run.backend);
+  run.cycles = st.cycles;
   run.mean_streamed_precision =
-      chunks ? streamed_pa / static_cast<double>(chunks) : 0.0;
+      st.chunks ? st.streamed_pa / static_cast<double>(st.chunks) : 0.0;
+  dispatcher_.note_streamed(st.act_bits_streamed, st.weight_bits_streamed,
+                            st.detect_invocations, st.detect_values);
 
   run.requant_shift = nn::choose_requant_shift(run.wide, out_bits);
   run.output = nn::requantize(run.wide, run.requant_shift, out_bits, opts_.relu);
@@ -237,37 +172,17 @@ FunctionalLayerRun FunctionalLoomEngine::run_fc(const nn::Layer& layer,
   run.out_bits = out_bits;
   run.wide = nn::WideTensor(nn::Shape{layer.out.c, 1, 1});
 
-  // FCLs stream the full 16 activation bits; each output maps to one SIP
-  // whose OR accumulates over the input chunks.
-  const std::int64_t ci = layer.in.elements();
-  if (bitslice_) {
-    bitslice_->run_fc(layer, input, weights, layer.weight_precision, run.wide);
-  } else {
-    const arch::SipConfig sip_cfg{opts_.lanes, /*act_signed=*/true,
-                                  /*weight_signed=*/true};
-    std::vector<Value> a(static_cast<std::size_t>(opts_.lanes));
-    std::vector<Value> w(static_cast<std::size_t>(opts_.lanes));
-    for (std::int64_t co = 0; co < layer.out.c; ++co) {
-      Wide acc = 0;
-      for (std::int64_t base = 0; base < ci; base += opts_.lanes) {
-        const std::int64_t n = std::min<std::int64_t>(opts_.lanes, ci - base);
-        for (std::int64_t i = 0; i < n; ++i) {
-          a[static_cast<std::size_t>(i)] = input.flat(base + i);
-          w[static_cast<std::size_t>(i)] = weights.flat(co * ci + base + i);
-        }
-        arch::Sip chunk_sip(sip_cfg);
-        acc += arch::sip_inner_product(
-            chunk_sip, std::span<const Value>(a.data(), static_cast<std::size_t>(n)),
-            std::span<const Value>(w.data(), static_cast<std::size_t>(n)),
-            kBasePrecision, layer.weight_precision);
-      }
-      run.wide.set_flat(co, acc);
-    }
-  }
+  // FCLs stream the full 16 activation bits; the kernels' accumulators are
+  // exact, so every backend lands the same wide tensor.
+  const nn::Tensor* in_ptr = &input;
+  nn::WideTensor* wide_ptr = &run.wide;
+  dispatch_fc(layer, std::span<const nn::Tensor* const>(&in_ptr, 1), weights,
+              std::span<nn::WideTensor* const>(&wide_ptr, 1), run.backend);
 
   // Wall-clock cycles: the same cascade-aware model as the analytic
   // LoomSimulator::simulate_fc — best `ways` slicing plus the cols-1
   // column-stagger initiation — excluding the analytic kPipelineFill.
+  const std::int64_t ci = layer.in.elements();
   const FcCascadePlan plan = plan_fc_cascade(
       opts_.rows, opts_.cols, opts_.lanes, layer.out.c, ci,
       static_cast<double>(layer.weight_precision),
@@ -295,28 +210,12 @@ FunctionalBatchLayerRun FunctionalLoomEngine::run_conv_batch(
     run.wides.emplace_back(nn::Shape{layer.out.c, layer.out.h, layer.out.w});
   }
 
-  if (bitslice_) {
-    std::vector<const nn::Tensor*> in_ptrs;
-    std::vector<nn::WideTensor*> wide_ptrs;
-    batch_ptrs(inputs, run.wides, in_ptrs, wide_ptrs);
-    const BitsliceEngine::SliceSpec spec{
-        .act_precision = layer.act_precision,
-        .weight_precision = layer.weight_precision,
-        .act_signed = false,
-        .dynamic = opts_.dynamic_act_precision};
-    const BitsliceEngine::ConvStats st =
-        bitslice_->run_conv_batch(layer, in_ptrs, weights, spec, wide_ptrs);
-    run.cycles = st.cycles;
-    run.mean_streamed_precision =
-        st.chunks ? st.streamed_pa / static_cast<double>(st.chunks) : 0.0;
-    dispatcher_.note_streamed(st.act_bits_streamed, st.weight_bits_streamed,
-                              st.detect_invocations, st.detect_values);
-    requantize_batch(run, out_bits, opts_.relu);
-  } else {
+  if (resolved_ == "scalar") {
     // Scalar oracle: a batch *is* N solo runs — the semantics the lane-packed
-    // path is pinned against. Requests have identical chunk geometry, so the
-    // plain mean over requests equals the chunk-weighted mean. The solo runs
-    // already requantized; keep their shifts and outputs.
+    // backends are pinned against. Requests have identical chunk geometry, so
+    // the plain mean over requests equals the chunk-weighted mean. The solo
+    // runs already requantized; keep their shifts and outputs.
+    run.backend = resolved_;
     double mean_sum = 0.0;
     for (std::size_t r = 0; r < batch; ++r) {
       FunctionalLayerRun lr = run_conv(layer, inputs[r], weights, out_bits);
@@ -327,6 +226,23 @@ FunctionalBatchLayerRun FunctionalLoomEngine::run_conv_batch(
       run.outputs.push_back(std::move(lr.output));
     }
     run.mean_streamed_precision = mean_sum / static_cast<double>(batch);
+  } else {
+    std::vector<const nn::Tensor*> in_ptrs;
+    std::vector<nn::WideTensor*> wide_ptrs;
+    batch_ptrs(inputs, run.wides, in_ptrs, wide_ptrs);
+    const BitsliceEngine::SliceSpec spec{
+        .act_precision = layer.act_precision,
+        .weight_precision = layer.weight_precision,
+        .act_signed = false,
+        .dynamic = opts_.dynamic_act_precision};
+    const BitsliceEngine::ConvStats st =
+        dispatch_conv(layer, in_ptrs, weights, spec, wide_ptrs, run.backend);
+    run.cycles = st.cycles;
+    run.mean_streamed_precision =
+        st.chunks ? st.streamed_pa / static_cast<double>(st.chunks) : 0.0;
+    dispatcher_.note_streamed(st.act_bits_streamed, st.weight_bits_streamed,
+                              st.detect_invocations, st.detect_values);
+    requantize_batch(run, out_bits, opts_.relu);
   }
   return run;
 }
@@ -345,20 +261,20 @@ FunctionalBatchLayerRun FunctionalLoomEngine::run_fc_batch(
     run.wides.emplace_back(nn::Shape{layer.out.c, 1, 1});
   }
 
-  if (bitslice_) {
-    std::vector<const nn::Tensor*> in_ptrs;
-    std::vector<nn::WideTensor*> wide_ptrs;
-    batch_ptrs(inputs, run.wides, in_ptrs, wide_ptrs);
-    bitslice_->run_fc_batch(layer, in_ptrs, weights, layer.weight_precision,
-                            wide_ptrs);
-    requantize_batch(run, out_bits, opts_.relu);
-  } else {
+  if (resolved_ == "scalar") {
+    run.backend = resolved_;
     for (std::size_t r = 0; r < batch; ++r) {
       FunctionalLayerRun lr = run_fc(layer, inputs[r], weights, out_bits);
       run.wides[r] = std::move(lr.wide);
       run.requant_shifts.push_back(lr.requant_shift);
       run.outputs.push_back(std::move(lr.output));
     }
+  } else {
+    std::vector<const nn::Tensor*> in_ptrs;
+    std::vector<nn::WideTensor*> wide_ptrs;
+    batch_ptrs(inputs, run.wides, in_ptrs, wide_ptrs);
+    dispatch_fc(layer, in_ptrs, weights, wide_ptrs, run.backend);
+    requantize_batch(run, out_bits, opts_.relu);
   }
 
   // FC grid cycles have no batch dimension in the cascade model: every image

@@ -10,31 +10,34 @@
 // the two models agree (the functional counts exclude the analytic model's
 // per-layer kPipelineFill constant).
 //
-// Two backends compute identical results:
-//  - the bit-sliced fast path (sim/bitslice_engine.hpp): 64 SIP columns per
-//    machine word, the default;
-//  - the scalar oracle: one arch::Sip per (row, column), driven bit by bit
-//    through the dispatcher. Selected by FunctionalOptions::force_scalar or
-//    the LOOM_FUNCTIONAL_SCALAR environment variable, and automatically for
-//    configurations the bit-sliced engine cannot pack (cols > 64).
-// Outputs, cycle counts, streamed-precision means and dispatcher/detector
-// statistics are byte-identical between the two (golden-pinned in
-// tests/test_bitslice_engine.cpp).
+// Layer math runs on an interchangeable kernel from the backend registry
+// (sim/backend.hpp): the scalar arch::Sip oracle, the bit-sliced fast path,
+// or the LUT kernels — all byte-identical in outputs, cycle counts,
+// streamed-precision means and dispatcher/detector statistics (golden-
+// pinned in tests/test_bitslice_engine.cpp, swept by
+// tests/test_backend_differential.cpp). Selection: FunctionalOptions::
+// backend, then LOOM_FUNCTIONAL_BACKEND, then "auto" — which hands each
+// layer to the BackendAutotuner to memoize the empirically fastest kernel.
+// FunctionalOptions::force_scalar / LOOM_FUNCTIONAL_SCALAR still force the
+// scalar oracle, and configurations no fast kernel can pack (cols > 64)
+// fall back to it automatically.
 //
 // Restriction: models the LM1b variant (one activation bit per cycle).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
+#include <map>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "arch/dispatcher.hpp"
-#include "arch/sip.hpp"
 #include "nn/network.hpp"
 #include "nn/reference.hpp"
 #include "nn/tensor.hpp"
+#include "sim/backend.hpp"
 #include "sim/bitslice_engine.hpp"
 
 namespace loom::sim {
@@ -46,18 +49,22 @@ struct FunctionalOptions {
   bool dynamic_act_precision = true;
   bool relu = true;  ///< apply ReLU at requantization (hidden layers)
   bool cascading = true;  ///< SIP daisy-chaining for FC layers (cycle model)
-  /// Worker threads for the bit-sliced backend's (group, slab) fan-out over
-  /// the shared pool; 0 = all hardware threads, 1 = serial. Results are
-  /// byte-identical for every value.
+  /// Worker threads for the fast backends' fan-out over the shared pool;
+  /// 0 = all hardware threads, 1 = serial. Results are byte-identical for
+  /// every value.
   int jobs = 0;
   /// Force the scalar arch::Sip oracle (also: LOOM_FUNCTIONAL_SCALAR=1).
   bool force_scalar = false;
+  /// Kernel selection: "" defers to LOOM_FUNCTIONAL_BACKEND, then "auto"
+  /// (per-layer autotuned); or a registered name ("scalar", "bitslice",
+  /// "lut", "lut-outer"). Unknown names throw ConfigError at construction.
+  std::string backend = {};
   /// Invoked at the top of every run_network / run_network_batch call; may
   /// throw, in which case the run fails before touching any state. This is
   /// how the serving fault injector makes an engine run fail: the server
   /// installs a hook that throws TransientEngineError at a configured
-  /// probability on its primary (bit-sliced) engine, while the
-  /// scalar-oracle fallback engine runs hook-free. Null = disabled.
+  /// probability on its primary engine, while the scalar-oracle fallback
+  /// engine runs hook-free. Null = disabled.
   std::function<void()> pre_run_hook = nullptr;
 };
 
@@ -69,6 +76,7 @@ struct FunctionalLayerRun {
   int requant_shift = 0;
   int out_bits = kBasePrecision;
   double mean_streamed_precision = 0.0;  ///< average Pa actually streamed
+  std::string backend;           ///< kernel that ran this layer
 };
 
 struct FunctionalNetworkRun {
@@ -90,6 +98,7 @@ struct FunctionalBatchLayerRun {
   std::uint64_t cycles = 0;             ///< grid cycles for the whole batch
   int out_bits = kBasePrecision;
   double mean_streamed_precision = 0.0;  ///< mean Pa over the batch's chunks
+  std::string backend;                   ///< kernel that ran this layer
 };
 
 struct FunctionalBatchNetworkRun {
@@ -128,14 +137,15 @@ class FunctionalLoomEngine {
   // ---- Batched (multi-request) execution ----------------------------------
   // N same-shape inputs run as one coalesced batch: conv im2col window
   // ranges of different requests concatenate into the same 64-lane slabs of
-  // the bit-sliced engine, FC batches pack requests into the word lanes,
-  // and every request's outputs demux back out. Requantization (shift
-  // choice included) is per request, so outputs are byte-identical to N
-  // solo runs — pinned by tests/test_batch_properties.cpp and the serving
-  // stress tests, not assumed. On the scalar oracle a batch is executed as
-  // N solo runs (summed cycles), which is the batching semantics oracle.
-  // FC grid cycles stay per-image (batch = N x solo): the cascade model has
-  // no batch dimension; the lane packing is a software throughput win.
+  // the word-parallel backends, FC batches pack requests into the word
+  // lanes, and every request's outputs demux back out. Requantization
+  // (shift choice included) is per request, so outputs are byte-identical
+  // to N solo runs — pinned by tests/test_batch_properties.cpp and the
+  // serving stress tests, not assumed. On the scalar oracle a batch is
+  // executed as N solo runs (summed cycles), which is the batching
+  // semantics oracle. FC grid cycles stay per-image (batch = N x solo): the
+  // cascade model has no batch dimension; the lane packing is a software
+  // throughput win.
 
   [[nodiscard]] FunctionalBatchLayerRun run_conv_batch(
       const nn::Layer& layer, std::span<const nn::Tensor> inputs,
@@ -153,31 +163,36 @@ class FunctionalLoomEngine {
     return dispatcher_;
   }
   [[nodiscard]] const FunctionalOptions& options() const noexcept { return opts_; }
-  /// True when layers run on the bit-sliced fast path (false = scalar
+  /// True when layers run on a word-parallel fast path (false = scalar
   /// oracle, via force_scalar / LOOM_FUNCTIONAL_SCALAR / unpackable cols).
-  [[nodiscard]] bool bitsliced() const noexcept { return bitslice_.has_value(); }
+  [[nodiscard]] bool bitsliced() const noexcept { return resolved_ != "scalar"; }
+  /// The resolved kernel selection: "scalar", "auto" (per-layer autotuned),
+  /// or a concrete registered backend name.
+  [[nodiscard]] const std::string& backend_name() const noexcept {
+    return resolved_;
+  }
 
  private:
-  /// Scalar oracle: run one (filter-block, window-block) tile pass over all
-  /// input chunks, accumulating exact outputs in `wide` and cycles in the
-  /// return value.
-  std::uint64_t run_conv_block(const nn::Layer& layer, const nn::Tensor& input,
-                               const nn::Tensor& weights, std::int64_t group,
-                               std::int64_t fb, std::int64_t wb,
-                               nn::WideTensor& wide, double& streamed_pa,
-                               std::int64_t& chunks);
+  /// Lazily construct (and cache) the named backend for this grid.
+  FunctionalBackend& backend_for(const std::string& name);
+  /// Run one conv batch on the selected kernel; under "auto" consults the
+  /// autotuner and feeds the measured wall clock back. `used` reports the
+  /// kernel that ran.
+  BitsliceEngine::ConvStats dispatch_conv(
+      const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+      const nn::Tensor& weights, const BitsliceEngine::SliceSpec& spec,
+      std::span<nn::WideTensor* const> wides, std::string& used);
+  void dispatch_fc(const nn::Layer& layer,
+                   std::span<const nn::Tensor* const> inputs,
+                   const nn::Tensor& weights,
+                   std::span<nn::WideTensor* const> wides, std::string& used);
 
   FunctionalOptions opts_;
   arch::Dispatcher dispatcher_;
-  std::optional<BitsliceEngine> bitslice_;
-
-  // Scalar-oracle scratch, reused across chunks so the inner loops do not
-  // allocate: gathered values, the span views the dispatcher consumes, and
-  // the serialized streams.
-  std::vector<Value> act_buf_, weight_buf_;
-  std::vector<std::span<const Value>> act_spans_, weight_spans_;
-  arch::ActivationStream act_stream_;
-  arch::WeightStream weight_stream_;
+  BackendContext ctx_;
+  std::string resolved_;  ///< "scalar", "auto", or a concrete backend name
+  std::vector<std::string> candidates_;  ///< tuner candidates under "auto"
+  std::map<std::string, std::unique_ptr<FunctionalBackend>> backends_;
 };
 
 /// True when the process-wide LOOM_FUNCTIONAL_SCALAR escape hatch is set

@@ -1,0 +1,460 @@
+#include "sim/lut_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/im2col.hpp"
+
+namespace loom::sim {
+
+namespace {
+
+/// Inner-product length bound shared with the bit-sliced engine: each
+/// 8-activation group contributes |partial| <= 8 * 2^16 * 2^15 < 2^34, so
+/// inner < 2^28 keeps every int64 accumulator exact (< 2^59).
+constexpr std::int64_t kMaxInner = std::int64_t{1} << 28;
+
+/// Groups whose detected activation magnitude needs <= 12 unsigned bits
+/// (or whose signed magnitudes sum below 2^15) have all 256 partial sums
+/// inside int16 — the tables the hot loop touches shrink by half.
+constexpr std::int32_t kNarrowLimit = 32767;
+
+inline std::int32_t sext16(std::uint32_t raw) noexcept {
+  return static_cast<std::int32_t>(
+      static_cast<std::int16_t>(static_cast<std::uint16_t>(raw)));
+}
+
+/// Pack the pw 1-bit weight slices of one 8-element group into `out[b]`
+/// (bit j of out[b] = bit b of weights w[j] masked to pw bits). Cost is
+/// proportional to the set bits, so low-Pw rows pack in a handful of ops.
+inline void pack_group_slices(const nn::Tensor& weights, std::int64_t base,
+                              std::int64_t navail, std::uint32_t w_mask,
+                              std::uint8_t* out, int pw) noexcept {
+  std::memset(out, 0, static_cast<std::size_t>(pw));
+  for (std::int64_t j = 0; j < navail; ++j) {
+    std::uint32_t wv =
+        static_cast<std::uint16_t>(weights.flat(base + j)) & w_mask;
+    const auto jbit = static_cast<std::uint8_t>(1u << j);
+    while (wv != 0) {
+      out[std::countr_zero(wv)] |= jbit;
+      wv &= wv - 1;
+    }
+  }
+}
+
+/// Doubling fill of one 256-entry partial-sum table: lut[m | 1<<j] =
+/// lut[m] + a[j]. One add per entry; the stride-j inner runs vectorize.
+template <typename T>
+inline void build_table(const std::int32_t* a, T* lut) noexcept {
+  lut[0] = 0;
+  for (int j = 0; j < 8; ++j) {
+    const int step = 1 << j;
+    const T aj = static_cast<T>(a[j]);
+    for (int i = 0; i < step; ++i) {
+      lut[step + i] = static_cast<T>(lut[i] + aj);
+    }
+  }
+}
+
+/// The signed-weight decomposition: u = raw & (2^pw - 1) has value
+/// u - msb * 2^pw, so the group inner product is the plain-binary slice sum
+/// with the MSB slice's net coefficient flipped to -2^(pw-1).
+template <typename T>
+inline std::int64_t group_lookup(const T* lut, const std::uint8_t* wb,
+                                 int pw) noexcept {
+  const int msb = pw - 1;
+  std::int64_t partial =
+      -(static_cast<std::int64_t>(lut[wb[msb]]) << msb);
+  for (int b = 0; b < msb; ++b) {
+    partial += static_cast<std::int64_t>(lut[wb[b]]) << b;
+  }
+  return partial;
+}
+
+/// Accumulate every output feature of one window against the live groups'
+/// tables, `tile` tables at a time (0 = all at once). Tables build once per
+/// tile and serve all `cog` outputs — the T-MAC amortization.
+template <typename T>
+void accumulate_window(const std::int32_t* acts,
+                       std::span<const std::int32_t> live, std::vector<T>& luts,
+                       const std::uint8_t* wrow0, std::int64_t row_stride,
+                       std::int64_t cog, int pw, std::int64_t tile,
+                       std::int64_t* acc) {
+  const auto n_live = static_cast<std::int64_t>(live.size());
+  const std::int64_t step = tile == 0 ? std::max<std::int64_t>(n_live, 1) : tile;
+  luts.resize(static_cast<std::size_t>(std::min(step, std::max<std::int64_t>(
+                                                          n_live, 1))) *
+              256);
+  for (std::int64_t t0 = 0; t0 < n_live; t0 += step) {
+    const std::int64_t t1 = std::min(t0 + step, n_live);
+    for (std::int64_t ti = t0; ti < t1; ++ti) {
+      build_table(acts + static_cast<std::int64_t>(live[static_cast<std::size_t>(
+                             ti)]) *
+                             8,
+                  luts.data() + (ti - t0) * 256);
+    }
+    for (std::int64_t co = 0; co < cog; ++co) {
+      const std::uint8_t* wrow = wrow0 + co * row_stride;
+      std::int64_t s = acc[co];
+      for (std::int64_t ti = t0; ti < t1; ++ti) {
+        const std::uint8_t* wb =
+            wrow + static_cast<std::int64_t>(live[static_cast<std::size_t>(ti)]) *
+                       pw;
+        s += group_lookup(luts.data() + (ti - t0) * 256, wb, pw);
+      }
+      acc[co] = s;
+    }
+  }
+}
+
+}  // namespace
+
+LutEngine::LutEngine(Options opts) : opts_(opts) {
+  LOOM_EXPECTS(supports(opts));
+  slab_windows_ = (64 / opts_.cols) * opts_.cols;
+}
+
+void LutEngine::conv_slab(const nn::Layer& layer,
+                          std::span<const nn::Tensor* const> inputs,
+                          const nn::Tensor& weights, const SliceSpec& spec,
+                          std::int64_t g, std::int64_t slab,
+                          std::span<nn::WideTensor* const> wides,
+                          std::span<const std::uint8_t> wpack,
+                          Scratch& scratch, ConvStats& stats) const {
+  const int lanes = opts_.lanes;
+  const int cols = opts_.cols;
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t windows = layer.windows();
+  const std::int64_t cog = layer.group_out_channels();
+  const std::int64_t ic_count = ceil_div(inner, static_cast<std::int64_t>(lanes));
+  const std::int64_t fb_count = ceil_div(cog, static_cast<std::int64_t>(opts_.rows));
+  const std::int64_t total_windows =
+      windows * static_cast<std::int64_t>(inputs.size());
+  const std::int64_t w0 = slab * slab_windows_;
+  const std::int64_t cu =
+      std::min<std::int64_t>(slab_windows_, total_windows - w0);
+  const std::int64_t n_groups = ceil_div(cu, static_cast<std::int64_t>(cols));
+
+  const int profile = spec.act_precision;
+  const int pw = spec.weight_precision;
+  const auto prof_mask =
+      static_cast<std::uint32_t>((std::uint32_t{1} << profile) - 1);
+
+  // ---- Phase 1: the dispatcher's streaming accounting, replicated with
+  // the bit-sliced engine's exact loop structure (chunk-major, column
+  // groups in ascending order) so every stat — including the
+  // floating-point streamed_pa sum — lands byte-identical.
+  const std::int64_t kh = layer.kernel_h;
+  const std::int64_t kw = layer.kernel_w;
+  std::uint32_t group_or[64];
+  for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+    const std::int64_t n = std::min<std::int64_t>(lanes, inner - ic * lanes);
+    std::fill(group_or, group_or + n_groups, 0u);
+    for (std::int64_t l = 0; l < n; ++l) {
+      const std::int64_t flat = ic * lanes + l;
+      const std::int64_t ci = flat / (kh * kw);
+      const std::int64_t rem = flat % (kh * kw);
+      const std::int64_t ky = rem / kw;
+      const std::int64_t kx = rem % kw;
+      const std::int64_t c_base =
+          (g * layer.group_in_channels() + ci) * layer.in.h;
+      for (std::int64_t c0 = 0; c0 < cu;) {
+        const std::int64_t gw = w0 + c0;
+        const nn::Tensor& input = *inputs[static_cast<std::size_t>(gw / windows)];
+        const std::int64_t win0 = gw % windows;
+        const std::int64_t seg = std::min(cu - c0, windows - win0);
+        for (std::int64_t k = 0; k < seg; ++k) {
+          const std::int64_t window = win0 + k;
+          const std::int64_t c = c0 + k;
+          const std::int64_t iy =
+              (window / layer.out.w) * layer.stride + ky - layer.pad;
+          const std::int64_t ix =
+              (window % layer.out.w) * layer.stride + kx - layer.pad;
+          if (iy < 0 || iy >= layer.in.h || ix < 0 || ix >= layer.in.w) {
+            continue;
+          }
+          const Value v = input.flat((c_base + iy) * layer.in.w + ix);
+          group_or[c / cols] |=
+              static_cast<std::uint32_t>(static_cast<std::uint16_t>(v));
+        }
+        c0 += seg;
+      }
+    }
+    for (std::int64_t j = 0; j < n_groups; ++j) {
+      const std::int64_t group_cols =
+          std::min<std::int64_t>(cols, cu - j * cols);
+      int pa = profile;
+      if (spec.dynamic) {
+        pa = std::min(needed_bits_unsigned(group_or[j]), profile);
+        stats.detect_invocations += static_cast<std::uint64_t>(fb_count);
+        stats.detect_values +=
+            static_cast<std::uint64_t>(fb_count * group_cols * n);
+      }
+      stats.cycles += static_cast<std::uint64_t>(fb_count) *
+                      static_cast<std::uint64_t>(pw) *
+                      static_cast<std::uint64_t>(pa);
+      stats.chunks += fb_count;
+      stats.streamed_pa += static_cast<double>(pa) * static_cast<double>(fb_count);
+      stats.act_bits_streamed +=
+          static_cast<std::uint64_t>(pa) *
+          static_cast<std::uint64_t>(fb_count * group_cols * n);
+      stats.weight_bits_streamed += static_cast<std::uint64_t>(pw) *
+                                    static_cast<std::uint64_t>(cog * n);
+    }
+  }
+
+  // ---- Phase 2: per window, gather the group activations, build the live
+  // list (dead groups contribute nothing) and the partial-sum tables, then
+  // sweep every output feature with Pw lookups per live group.
+  const std::int64_t g8_count = ceil_div(inner, std::int64_t{8});
+  scratch.acts.resize(static_cast<std::size_t>(g8_count) * 8);
+  scratch.acc.resize(static_cast<std::size_t>(cog));
+  const std::int64_t row_stride = g8_count * pw;
+
+  for (std::int64_t c = 0; c < cu; ++c) {
+    const std::int64_t gw = w0 + c;
+    const nn::Tensor& input = *inputs[static_cast<std::size_t>(gw / windows)];
+    const std::int64_t window = gw % windows;
+
+    scratch.live.clear();
+    bool narrow = true;
+    for (std::int64_t g8 = 0; g8 < g8_count; ++g8) {
+      std::int32_t* a = scratch.acts.data() + g8 * 8;
+      std::int32_t sum_abs = 0;
+      for (int j = 0; j < 8; ++j) {
+        const std::int64_t flat = g8 * 8 + j;
+        std::int32_t v = 0;
+        if (flat < inner) {
+          const std::int64_t idx = nn::im2col_input_index(layer, g, window, flat);
+          if (idx >= 0) {
+            const auto raw = static_cast<std::uint32_t>(
+                static_cast<std::uint16_t>(input.flat(idx)));
+            v = spec.act_signed ? sext16(raw)
+                                : static_cast<std::int32_t>(raw & prof_mask);
+          }
+        }
+        a[j] = v;
+        sum_abs += v < 0 ? -v : v;
+      }
+      if (sum_abs != 0) {
+        scratch.live.push_back(static_cast<std::int32_t>(g8));
+        if (sum_abs > kNarrowLimit) narrow = false;
+      }
+    }
+
+    std::fill(scratch.acc.begin(), scratch.acc.end(), std::int64_t{0});
+    const std::uint8_t* wrow0 =
+        wpack.data() + static_cast<std::size_t>(g * cog) *
+                           static_cast<std::size_t>(row_stride);
+    if (narrow) {
+      accumulate_window(scratch.acts.data(), scratch.live, scratch.lut16,
+                        wrow0, row_stride, cog, pw, opts_.group_tile,
+                        scratch.acc.data());
+    } else {
+      accumulate_window(scratch.acts.data(), scratch.live, scratch.lut32,
+                        wrow0, row_stride, cog, pw, opts_.group_tile,
+                        scratch.acc.data());
+    }
+
+    nn::WideTensor& wide = *wides[static_cast<std::size_t>(gw / windows)];
+    for (std::int64_t co = 0; co < cog; ++co) {
+      wide.at3(g * cog + co, window / layer.out.w, window % layer.out.w) =
+          scratch.acc[static_cast<std::size_t>(co)];
+    }
+  }
+}
+
+LutEngine::ConvStats LutEngine::run_conv_batch(
+    const nn::Layer& layer, std::span<const nn::Tensor* const> inputs,
+    const nn::Tensor& weights, const SliceSpec& spec,
+    std::span<nn::WideTensor* const> wides) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kConv);
+  LOOM_EXPECTS(!inputs.empty() && inputs.size() == wides.size());
+  LOOM_EXPECTS(spec.act_precision >= 1 && spec.act_precision <= kBasePrecision);
+  LOOM_EXPECTS(spec.weight_precision >= 1 &&
+               spec.weight_precision <= kBasePrecision);
+  LOOM_EXPECTS(!spec.act_signed || spec.act_precision == kBasePrecision);
+  LOOM_EXPECTS(!(spec.act_signed && spec.dynamic));
+  LOOM_EXPECTS(layer.inner_length() < kMaxInner);
+
+  // Weight slices pack once per call (shared, read-only across stripes):
+  // wpack[co][g8][b] holds bit b of output co's masked weights in group g8.
+  const std::int64_t inner = layer.inner_length();
+  const std::int64_t g8_count = ceil_div(inner, std::int64_t{8});
+  const int pw = spec.weight_precision;
+  const auto w_mask =
+      static_cast<std::uint32_t>((std::uint32_t{1} << pw) - 1);
+  std::vector<std::uint8_t> wpack(static_cast<std::size_t>(layer.out.c) *
+                                  static_cast<std::size_t>(g8_count) *
+                                  static_cast<std::size_t>(pw));
+  for (std::int64_t co = 0; co < layer.out.c; ++co) {
+    for (std::int64_t g8 = 0; g8 < g8_count; ++g8) {
+      const std::int64_t base = co * inner + g8 * 8;
+      const std::int64_t navail = std::min<std::int64_t>(8, inner - g8 * 8);
+      pack_group_slices(weights, base, navail, w_mask,
+                        wpack.data() + (co * g8_count + g8) * pw, pw);
+    }
+  }
+
+  const std::int64_t total_windows =
+      layer.windows() * static_cast<std::int64_t>(inputs.size());
+  const std::int64_t slab_count = ceil_div(total_windows, slab_windows_);
+  const std::int64_t tasks = layer.groups * slab_count;
+  const std::size_t jobs = resolve_jobs(opts_.jobs);
+  const std::size_t stripes =
+      std::min<std::size_t>(jobs, static_cast<std::size_t>(tasks));
+
+  std::vector<ConvStats> stripe_stats(std::max<std::size_t>(stripes, 1));
+  const auto run_stripe = [&](std::size_t s, Scratch& scratch) {
+    const auto lo = static_cast<std::int64_t>(
+        (static_cast<std::size_t>(tasks) * s) / stripes);
+    const auto hi = static_cast<std::int64_t>(
+        (static_cast<std::size_t>(tasks) * (s + 1)) / stripes);
+    for (std::int64_t t = lo; t < hi; ++t) {
+      conv_slab(layer, inputs, weights, spec, t / slab_count, t % slab_count,
+                wides, wpack, scratch, stripe_stats[s]);
+    }
+  };
+
+  if (stripes <= 1) {
+    Scratch scratch;
+    run_stripe(0, scratch);
+  } else {
+    // Same disjoint-output striping (and deterministic stats reduction
+    // order) as the bit-sliced engine.
+    std::vector<Scratch> scratches(stripes);
+    shared_pool().parallel_for(
+        stripes, [&](std::size_t s) { run_stripe(s, scratches[s]); });
+  }
+
+  ConvStats total;
+  for (const ConvStats& s : stripe_stats) {
+    total.cycles += s.cycles;
+    total.streamed_pa += s.streamed_pa;
+    total.chunks += s.chunks;
+    total.act_bits_streamed += s.act_bits_streamed;
+    total.weight_bits_streamed += s.weight_bits_streamed;
+    total.detect_invocations += s.detect_invocations;
+    total.detect_values += s.detect_values;
+  }
+  return total;
+}
+
+void LutEngine::run_fc(const nn::Layer& layer, const nn::Tensor& input,
+                       const nn::Tensor& weights, int weight_precision,
+                       nn::WideTensor& wide) {
+  LOOM_EXPECTS(layer.kind == nn::LayerKind::kFullyConnected);
+  LOOM_EXPECTS(weight_precision >= 1 && weight_precision <= kBasePrecision);
+  LOOM_EXPECTS(layer.in.elements() < kMaxInner);
+
+  const std::int64_t ci = layer.in.elements();
+  const std::int64_t g8_count = ceil_div(ci, std::int64_t{8});
+  const int pw = weight_precision;
+  const auto w_mask =
+      static_cast<std::uint32_t>((std::uint32_t{1} << pw) - 1);
+
+  // Activations gather once (signed, full 16 bits); the tables for every
+  // live group build once and serve all out.c neurons.
+  std::vector<std::int32_t> acts(static_cast<std::size_t>(g8_count) * 8, 0);
+  std::vector<std::int32_t> live;
+  bool narrow = true;
+  for (std::int64_t g8 = 0; g8 < g8_count; ++g8) {
+    std::int32_t sum_abs = 0;
+    for (int j = 0; j < 8; ++j) {
+      const std::int64_t flat = g8 * 8 + j;
+      std::int32_t v = 0;
+      if (flat < ci) {
+        v = sext16(static_cast<std::uint32_t>(
+            static_cast<std::uint16_t>(input.flat(flat))));
+      }
+      acts[static_cast<std::size_t>(g8) * 8 + static_cast<std::size_t>(j)] = v;
+      sum_abs += v < 0 ? -v : v;
+    }
+    if (sum_abs != 0) {
+      live.push_back(static_cast<std::int32_t>(g8));
+      if (sum_abs > kNarrowLimit) narrow = false;
+    }
+  }
+  std::vector<std::int16_t> luts16;
+  std::vector<std::int32_t> luts32;
+  const auto n_live = static_cast<std::int64_t>(live.size());
+  if (narrow) {
+    luts16.resize(static_cast<std::size_t>(n_live) * 256);
+    for (std::int64_t ti = 0; ti < n_live; ++ti) {
+      build_table(acts.data() +
+                      static_cast<std::int64_t>(live[static_cast<std::size_t>(
+                          ti)]) *
+                          8,
+                  luts16.data() + ti * 256);
+    }
+  } else {
+    luts32.resize(static_cast<std::size_t>(n_live) * 256);
+    for (std::int64_t ti = 0; ti < n_live; ++ti) {
+      build_table(acts.data() +
+                      static_cast<std::int64_t>(live[static_cast<std::size_t>(
+                          ti)]) *
+                          8,
+                  luts32.data() + ti * 256);
+    }
+  }
+
+  // Output neurons are independent: stripe over the pool. Weight slices
+  // pack per neuron into stripe scratch — only the live groups, so dead
+  // input stretches skip their weight walk entirely.
+  const std::size_t stripes = std::min<std::size_t>(
+      resolve_jobs(opts_.jobs),
+      static_cast<std::size_t>(std::max<std::int64_t>(layer.out.c, 1)));
+  const auto run_stripe = [&](std::size_t s, std::vector<std::uint8_t>& row) {
+    const auto lo = static_cast<std::int64_t>(
+        (static_cast<std::size_t>(layer.out.c) * s) / stripes);
+    const auto hi = static_cast<std::int64_t>(
+        (static_cast<std::size_t>(layer.out.c) * (s + 1)) / stripes);
+    row.resize(static_cast<std::size_t>(std::max<std::int64_t>(n_live, 1)) *
+               static_cast<std::size_t>(pw));
+    for (std::int64_t co = lo; co < hi; ++co) {
+      const std::int64_t wrow = co * ci;
+      for (std::int64_t ti = 0; ti < n_live; ++ti) {
+        const std::int64_t g8 = live[static_cast<std::size_t>(ti)];
+        pack_group_slices(weights, wrow + g8 * 8,
+                          std::min<std::int64_t>(8, ci - g8 * 8), w_mask,
+                          row.data() + ti * pw, pw);
+      }
+      std::int64_t sum = 0;
+      if (narrow) {
+        for (std::int64_t ti = 0; ti < n_live; ++ti) {
+          sum += group_lookup(luts16.data() + ti * 256, row.data() + ti * pw,
+                              pw);
+        }
+      } else {
+        for (std::int64_t ti = 0; ti < n_live; ++ti) {
+          sum += group_lookup(luts32.data() + ti * 256, row.data() + ti * pw,
+                              pw);
+        }
+      }
+      wide.set_flat(co, sum);
+    }
+  };
+
+  if (stripes <= 1) {
+    std::vector<std::uint8_t> row;
+    run_stripe(0, row);
+  } else {
+    std::vector<std::vector<std::uint8_t>> rows(stripes);
+    shared_pool().parallel_for(stripes,
+                               [&](std::size_t s) { run_stripe(s, rows[s]); });
+  }
+}
+
+void LutEngine::run_fc_batch(const nn::Layer& layer,
+                             std::span<const nn::Tensor* const> inputs,
+                             const nn::Tensor& weights, int weight_precision,
+                             std::span<nn::WideTensor* const> wides) {
+  LOOM_EXPECTS(!inputs.empty() && inputs.size() == wides.size());
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    run_fc(layer, *inputs[r], weights, weight_precision, *wides[r]);
+  }
+}
+
+}  // namespace loom::sim

@@ -55,7 +55,12 @@ nn::Tensor random_tensor(const nn::Shape& shape, int precision, bool is_signed,
       t.set_flat(i, static_cast<Value>(static_cast<std::int64_t>(u % span) -
                                        (span >> 1)));
     } else {
-      t.set_flat(i, static_cast<Value>(u & ((1u << precision) - 1)));
+      // Conv activations are unsigned bit patterns, but Tensor stores int16:
+      // keep bit 15 clear so the signed reference model and the hardware's
+      // unsigned streams agree (post-ReLU activations are non-negative, so
+      // a 16-bit profile still never uses the top bit for magnitude).
+      const int bits = std::min(precision, 15);
+      t.set_flat(i, static_cast<Value>(u & ((1u << bits) - 1)));
     }
   }
   return t;

@@ -244,6 +244,77 @@ TEST(ServeFaultStress, OverloadWithInjectedFaultsKeepsEveryInvariant) {
   }
 }
 
+// ---- LUT-backend degradation ----------------------------------------------
+// The primary engine pinned to the LUT kernel, injected failures landing
+// straight on the scalar-oracle fallback (no retries): every completed
+// request must be byte-identical to a solo run regardless of which engine
+// served it, and ServerStats::backend_layer_runs must show *both* kernels
+// doing real work — the observable trace that degradation crossed backends,
+// not just engines.
+
+TEST(ServeFaultStress, LutPrimaryDegradesToScalarByteIdentically) {
+  ModelRegistry registry;
+  populate(registry);
+  const auto expected = solo_outputs(registry, kPerProducer);
+
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.batch_deadline = std::chrono::microseconds(200);
+  opts.queue_depth = 256;  // no shedding: this test is about degradation
+  opts.workers = kWorkers;
+  opts.engine_retries = 0;  // every injected failure lands on the fallback
+  opts.engine.jobs = 1;
+  opts.engine.backend = "lut";
+  opts.faults.seed = 0xB10F;
+  opts.faults.engine_failure_prob = 0.35;
+  opts.faults.fallback_failure_prob = 0.0;
+
+  std::vector<Tagged> admitted;
+  ServerStats stats;
+  {
+    InferenceServer server(registry, opts);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::string& name : registry.names()) {
+        const auto model = registry.find(name);
+        for (int s = 0; s < kPerProducer; ++s) {
+          admitted.push_back(Tagged{
+              name, s,
+              server.submit(model, model->make_input(kInputSeed, s), {})});
+        }
+      }
+    }
+    for (Tagged& t : admitted) {
+      ASSERT_EQ(t.future.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "lost future for " << t.model << " stream " << t.stream;
+    }
+    server.stop();
+    stats = server.stats();
+  }
+
+  std::uint64_t fallback_results = 0;
+  for (Tagged& t : admitted) {
+    InferenceResult res = t.future.get();  // no deadline, no fallback faults:
+                                           // nothing may throw
+    EXPECT_EQ(res.output, expected.at({t.model, t.stream}))
+        << t.model << " stream " << t.stream
+        << (res.via_fallback ? " (scalar fallback)" : " (lut)");
+    if (res.via_fallback) ++fallback_results;
+  }
+
+  EXPECT_EQ(stats.completed, admitted.size());
+  EXPECT_GT(stats.fallbacks, 0u);
+  EXPECT_GT(fallback_results, 0u);
+
+  // Both kernels served weighted layers, and nothing else did: the primary
+  // resolves to "lut", the fallback engine is the scalar oracle.
+  ASSERT_TRUE(stats.backend_layer_runs.contains("lut"));
+  ASSERT_TRUE(stats.backend_layer_runs.contains("scalar"));
+  EXPECT_GT(stats.backend_layer_runs.at("lut"), 0u);
+  EXPECT_GT(stats.backend_layer_runs.at("scalar"), 0u);
+  EXPECT_EQ(stats.backend_layer_runs.size(), 2u);
+}
+
 // ---- Fault injector determinism -------------------------------------------
 // The k-th decision at a site is a pure function of (seed, site, k): two
 // injectors with the same plan agree draw for draw, which is what makes
