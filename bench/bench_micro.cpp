@@ -5,6 +5,7 @@
 // BENCH_micro.json for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -14,9 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/cpuid.hpp"
 #include "common/error.hpp"
 #include "core/loom.hpp"
 #include "nn/im2col.hpp"
+#include "sim/autotune_cache.hpp"
+#include "sim/lut_engine.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/server.hpp"
 #include "serve/shard_router.hpp"
@@ -380,22 +384,27 @@ BENCHMARK(BM_FunctionalConvLayerThreaded)->Unit(benchmark::kMillisecond);
 // table kernel's win; BM_AutotunerPick shows "auto" finding it by itself and
 // the ~ns steady-state cost of asking the memo afterwards.
 
-/// Low-Pw LUT showcase: 64ch 14x14 -> 256 filters 3x3, Pa 9 / Pw 2, dense.
-FunctionalBenchCase lut_case() {
+/// LUT showcase geometry at a chosen weight precision: 64ch 14x14 -> 256
+/// filters 3x3, Pa 9, dense. Pw 2 is the headline case; the sweep bench
+/// walks Pw up to show where the per-slice table reuse stops paying.
+FunctionalBenchCase lut_case_pw(int pw) {
   nn::Network net("lut-bench", nn::Shape3{64, 14, 14});
   net.add_conv("c", 256, 3, 1, 1).precision_group = 0;
   quant::PrecisionProfile p;
   p.network = "lut-bench";
   p.conv_act = {9};
-  p.conv_weight = 2;
+  p.conv_weight = pw;
   quant::apply_profile(net, p);
   nn::SyntheticSpec act{.precision = 9, .alpha = 1.2, .is_signed = false};
-  nn::SyntheticSpec wsp{.precision = 2, .alpha = 1.2, .is_signed = true};
+  nn::SyntheticSpec wsp{.precision = pw, .alpha = 1.2, .is_signed = true};
   FunctionalBenchCase c{std::move(net), {}, {}};
   c.input = nn::make_activation_tensor(c.net.layer(0).in, act, 1, 0);
   c.weights = nn::make_weight_tensor(c.net.layer(0).weight_count(), wsp, 2, 1);
   return c;
 }
+
+/// Low-Pw LUT showcase: 64ch 14x14 -> 256 filters 3x3, Pa 9 / Pw 2, dense.
+FunctionalBenchCase lut_case() { return lut_case_pw(2); }
 
 void BM_LutConvLayer(benchmark::State& state) {
   const FunctionalBenchCase c = lut_case();
@@ -482,6 +491,105 @@ void BM_AutotunerPick(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AutotunerPick);
+
+void BM_LutConvLayerPwSweep(benchmark::State& state) {
+  // The LUT kernel across weight precisions: each extra Pw bit adds one
+  // 1-bit slice lookup per group against the same 256-entry table, so cost
+  // should grow roughly linearly in Pw while the table build stays fixed.
+  const int pw = static_cast<int>(state.range(0));
+  const FunctionalBenchCase c = lut_case_pw(pw);
+  sim::FunctionalLoomEngine engine(
+      sim::FunctionalOptions{.jobs = 1, .backend = "lut"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run_conv(c.net.layer(0), c.input, c.weights, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * c.net.layer(0).macs());
+}
+BENCHMARK(BM_LutConvLayerPwSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LutTableBuild(benchmark::State& state) {
+  // The vector-doubling 256-entry table fill in isolation, per SIMD tier
+  // (arg 0 = scalar, 1 = avx2, 2 = avx512; clamped to what the host has —
+  // the label reports the tier that actually ran). The scalar-vs-best
+  // ratio is the table-build speedup the SIMD kernels contribute.
+  const auto requested = static_cast<common::SimdLevel>(state.range(0));
+  const common::SimdLevel level =
+      std::min(requested, common::hardware_simd_level());
+  constexpr std::size_t kGroups = 64;
+  std::vector<std::int32_t> acts(kGroups * 8);
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    acts[i] = static_cast<std::int32_t>((i * 37 + 11) % 256) - 128;
+  }
+  std::vector<std::int16_t> luts(kGroups * 256 +
+                                 sim::lut_kernels::kLutPadEntries);
+  for (auto _ : state) {
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      sim::lut_kernels::build_table_i16(level, acts.data() + g * 8,
+                                        luts.data() + g * 256);
+    }
+    benchmark::DoNotOptimize(luts.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::string("tier=") + common::simd_level_name(level));
+  // Entries filled per second.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kGroups) * 256);
+}
+BENCHMARK(BM_LutTableBuild)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_AutotunerColdStart(benchmark::State& state) {
+  // What LOOM_AUTOTUNE_CACHE buys at process start. Each iteration plays a
+  // fresh "process" deciding the low-Pw cell: cold (arg 0) explores every
+  // candidate on real layer runs before it can answer; warm (arg 1) loads
+  // the persisted winners and answers immediately — the measured gap is the
+  // exploration work the cache deletes. layer_runs_to_decide makes the
+  // mechanism visible: ~candidate-count cold, exactly 0 warm.
+  const bool warm = state.range(0) != 0;
+  const std::string path = "/tmp/loom_bench_autotune.bin";
+  const FunctionalBenchCase c = lut_case();
+  const nn::Layer& layer = c.net.layer(0);
+  auto& tuner = sim::BackendAutotuner::instance();
+
+  const auto decided = [&tuner] {
+    for (const auto& d : tuner.decisions()) {
+      if (!d.winner.empty()) return true;
+    }
+    return false;
+  };
+  const auto converge = [&]() -> int {
+    sim::FunctionalLoomEngine engine(
+        sim::FunctionalOptions{.jobs = 1, .backend = "auto"});
+    int runs = 0;
+    while (!decided() && runs < 16) {
+      benchmark::DoNotOptimize(engine.run_conv(layer, c.input, c.weights, 16));
+      ++runs;
+    }
+    return runs;
+  };
+
+  if (warm) {
+    tuner.reset_for_test();
+    (void)converge();
+    sim::save_autotune_cache(path);
+  }
+
+  double runs_sum = 0;
+  for (auto _ : state) {
+    tuner.reset_for_test();
+    if (warm) benchmark::DoNotOptimize(sim::load_autotune_cache(path));
+    runs_sum += converge();
+  }
+  tuner.reset_for_test();
+  if (warm) std::remove(path.c_str());
+  state.SetLabel(warm ? "warm-cache" : "cold");
+  state.counters["layer_runs_to_decide"] =
+      runs_sum / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_AutotunerColdStart)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // ---- Batched serving throughput -------------------------------------------
 // Lane-packed multi-request execution vs one image at a time, in images/sec

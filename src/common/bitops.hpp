@@ -91,4 +91,17 @@ struct NafDigits {
 /// one cycle themselves.
 [[nodiscard]] int naf_term_count(std::uint32_t mag) noexcept;
 
+/// FNV-1a over a byte range — the shared checksum/hash primitive behind
+/// the model-snapshot section checksums, the shard router's rendezvous
+/// hash, and the autotune cache framing.
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace loom

@@ -1,0 +1,53 @@
+// Runtime CPU feature detection shared by every SIMD-dispatched kernel
+// (the bit-sliced Harley-Seal sweep, the LUT table build/lookup). One probe,
+// one policy: kernels ask for the process-wide SimdLevel instead of each
+// carrying a private __builtin_cpu_supports call, so a single environment
+// override can force every dispatch site down to a lower tier — the switch
+// the per-tier CI legs and the cross-tier byte-identity tests stand on.
+//
+// Tier semantics: kAvx512 implies AVX-512 F + BW (the 16-bit vector adds of
+// the LUT table build need BW); kAvx2 implies AVX2. Each tier includes the
+// ones below it, so "supports at least X" is an ordinary >= compare.
+//
+// Overrides (read once, first use — set them before the process starts):
+//   LOOM_FORCE_SCALAR_SIMD=1   every dispatch site takes the scalar path
+//   LOOM_SIMD_LEVEL=scalar|avx2|avx512|native   cap the tier (avx512 and
+//       native never raise above what the hardware has; unknown values
+//       throw ConfigError)
+#pragma once
+
+namespace loom::common {
+
+/// SIMD dispatch tiers, ordered: a kernel compiled for tier T may run
+/// whenever simd_level() >= T.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,  ///< AVX-512 F + BW
+};
+
+/// Human-readable tier name ("scalar", "avx2", "avx512").
+[[nodiscard]] const char* simd_level_name(SimdLevel level) noexcept;
+
+/// What the hardware supports, ignoring any environment override. Cached
+/// after the first probe.
+[[nodiscard]] SimdLevel hardware_simd_level() noexcept;
+
+/// Pure policy: combine the two override variables into a tier cap.
+/// `force_scalar` / `level` are the raw values of LOOM_FORCE_SCALAR_SIMD /
+/// LOOM_SIMD_LEVEL (nullptr = unset). Exposed so tests can sweep the parse
+/// without mutating the process environment. Throws ConfigError on an
+/// unrecognized level string.
+[[nodiscard]] SimdLevel simd_cap_from_env(const char* force_scalar,
+                                          const char* level);
+
+/// The effective dispatch tier: min(hardware, environment cap). Read once
+/// and cached — the environment must be set before first use (ctest sets it
+/// per test process, which is the intended granularity).
+[[nodiscard]] SimdLevel simd_level();
+
+/// Convenience predicates against the effective tier.
+[[nodiscard]] bool have_avx2();
+[[nodiscard]] bool have_avx512();
+
+}  // namespace loom::common

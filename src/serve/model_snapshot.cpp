@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/bitops.hpp"
 #include "common/error.hpp"
 
 namespace loom::serve {
@@ -361,12 +362,7 @@ void encode_weights(Writer& w, const std::vector<nn::Tensor>& weights) {
 }  // namespace
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ull;
-  }
-  return h;
+  return loom::fnv1a64(bytes);  // shared primitive, common/bitops.hpp
 }
 
 std::uint64_t fnv1a64(const std::string& s) noexcept {

@@ -196,6 +196,16 @@ struct ServerStats {
   /// which backend actually served each weighted layer, fallback runs
   /// included — the observable trace of autotuner + degradation decisions.
   std::map<std::string, std::uint64_t> backend_layer_runs;
+  /// Persistent-autotune counters (process-wide BackendAutotuner, sampled
+  /// at stats() time — they cover every engine in the process, not just
+  /// this server's): cells installed from LOOM_AUTOTUNE_CACHE, choose()
+  /// calls answered by a cache-installed winner vs. not, and exploration
+  /// measurements fed to undecided cells. A warm-cache process reports
+  /// autotune_explore_records == 0.
+  std::uint64_t autotune_cached_cells = 0;
+  std::uint64_t autotune_hits = 0;
+  std::uint64_t autotune_misses = 0;
+  std::uint64_t autotune_explore_records = 0;
   std::array<ClassStats, kPriorityClasses> by_class;
 
   [[nodiscard]] const ClassStats& for_priority(Priority p) const {

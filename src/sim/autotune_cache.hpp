@@ -1,0 +1,96 @@
+// Persistent backend-autotuner winner cache: a versioned, checksummed
+// on-disk image of the BackendAutotuner's decided cells, so serve workers
+// and bench runs stop re-measuring every backend per process — the second
+// process starts with every previously-tuned (geometry, precision, batch,
+// grid, jobs) cell already decided.
+//
+// Layout mirrors serve/model_snapshot's framing conventions (all integers
+// little-endian, every payload byte checksummed, exact EOF):
+//
+//   header   magic "LOOMTUNE" (8) | version u32 | section_count u32 (= 2)
+//   section  id u32 | length u64 | fnv1a64(payload) u64 | payload bytes
+//   ...      sections in the exact order kKey, kCells
+//
+// The kKey section pins what the measurements meant: the effective SIMD
+// dispatch tier (common/cpuid) and an FNV hash of the registered tunable
+// backend set. A cache written on a different CPU tier, under a different
+// SIMD override, or against a different backend roster decodes cleanly but
+// fails the key check — stale and foreign caches are rejected as a typed
+// AutotuneCacheError (common/error.hpp), never silently trusted, and a
+// rejected load leaves the in-memory autotuner untouched. Same story for
+// truncation, bit flips and version skew (fuzz-pinned by
+// tests/test_autotune_cache.cpp).
+//
+// Writes are crash-safe: save writes `<path>.tmp` and renames over `path`
+// only after a successful full write.
+//
+// Wiring: LOOM_AUTOTUNE_CACHE=<path> names the cache file. The functional
+// engines and the inference server call init_autotune_cache_from_env() at
+// construction — first call loads the file (a missing or rejected cache
+// logs and proceeds cold) and registers an atexit flush, so winners learned
+// in this process persist for the next one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/backend.hpp"
+
+namespace loom::sim {
+
+/// Format version accepted by this build; every other value is rejected
+/// with AutotuneCacheError (version skew is a rejection, not a migration).
+inline constexpr std::uint32_t kAutotuneCacheVersion = 1;
+
+/// What a set of measurements is keyed by, beyond the per-cell TuneKey:
+/// the CPU dispatch tier the kernels actually ran at, and the set of
+/// registered tunable backends the samples cover.
+struct AutotuneCacheKey {
+  std::string simd;                    ///< common::simd_level_name value
+  std::uint64_t backend_set_hash = 0;  ///< FNV over registered tunable names
+
+  friend bool operator==(const AutotuneCacheKey&,
+                         const AutotuneCacheKey&) = default;
+};
+
+/// The key material of this process: effective SIMD tier + current
+/// registry's tunable backend set.
+[[nodiscard]] AutotuneCacheKey current_autotune_cache_key();
+
+/// Serialize decided cells to the cache byte image (exposed so the
+/// corruption tests can flip bits / truncate without touching disk).
+/// Undecided and pinned cells are skipped — a pin is a per-process
+/// override, not a measurement.
+[[nodiscard]] std::vector<std::uint8_t> encode_autotune_cache(
+    std::span<const BackendAutotuner::Decision> decisions,
+    const AutotuneCacheKey& key);
+
+/// Decode a cache image and validate it against `expect` (normally
+/// current_autotune_cache_key()). Throws AutotuneCacheError on any
+/// malformed input or key mismatch.
+[[nodiscard]] std::vector<BackendAutotuner::Decision> decode_autotune_cache(
+    std::span<const std::uint8_t> bytes, const AutotuneCacheKey& expect);
+
+/// Write the process autotuner's decided cells to `path` atomically
+/// (tmp file + rename). Throws AutotuneCacheError on I/O failure.
+void save_autotune_cache(const std::string& path);
+
+/// Read, validate and install a cache into the process autotuner. Returns
+/// the number of cells installed (already-known keys and pinned processes
+/// install nothing). Throws AutotuneCacheError on a missing file, any
+/// corruption, or a key mismatch — without touching autotuner state.
+std::size_t load_autotune_cache(const std::string& path);
+
+/// One-shot env wiring: when LOOM_AUTOTUNE_CACHE is set, load it
+/// best-effort (a missing or rejected cache logs a warning and starts
+/// cold) and register an atexit flush back to the same path. Idempotent
+/// and thread-safe; returns the number of cells the first call installed.
+std::size_t init_autotune_cache_from_env();
+
+/// Explicit flush to the LOOM_AUTOTUNE_CACHE path (no-op when unset).
+/// Exposed so long-lived servers can persist winners before exit.
+void flush_autotune_cache();
+
+}  // namespace loom::sim

@@ -424,7 +424,8 @@ std::string TuneKey::to_string() const {
   os << " pa=" << pa << " pw=" << pw;
   if (act_signed) os << " signed";
   if (dynamic) os << " dyn";
-  os << " batch=" << batch << " grid=" << rows << "x" << cols << "x" << lanes;
+  os << " batch=" << batch << " grid=" << rows << "x" << cols << "x" << lanes
+     << " jobs=" << jobs;
   return os.str();
 }
 
@@ -450,6 +451,7 @@ TuneKey conv_tune_key(const nn::Layer& layer,
   k.rows = ctx.rows;
   k.cols = ctx.cols;
   k.lanes = ctx.lanes;
+  k.jobs = ctx.jobs;
   return k;
 }
 
@@ -468,6 +470,7 @@ TuneKey fc_tune_key(const nn::Layer& layer, int weight_precision, int batch,
   k.rows = ctx.rows;
   k.cols = ctx.cols;
   k.lanes = ctx.lanes;
+  k.jobs = ctx.jobs;
   return k;
 }
 
@@ -481,12 +484,14 @@ struct BackendAutotuner::Impl {
     std::set<std::string> claimed;  ///< handed out, measurement in flight
     std::string winner;
     bool pinned = false;
+    bool from_cache = false;  ///< winner installed from a persistent cache
   };
 
   mutable std::mutex mu;
   std::map<TuneKey, Cell> cells;
   std::string pin;
   std::function<std::uint64_t(const TuneKey&, const std::string&)> override_fn;
+  CacheStats cache_stats;
 
   static void read_pin(std::string& pin) {
     const char* v = std::getenv("LOOM_AUTOTUNE_PIN");
@@ -540,7 +545,11 @@ std::string BackendAutotuner::choose(const TuneKey& key,
     }
     Impl::maybe_decide(cell);
   }
-  if (!cell.winner.empty()) return cell.winner;
+  if (!cell.winner.empty()) {
+    ++(cell.from_cache ? impl_->cache_stats.hits : impl_->cache_stats.misses);
+    return cell.winner;
+  }
+  ++impl_->cache_stats.misses;
   // Exploration: hand out the next unsampled, unclaimed candidate so its
   // timing piggybacks on a real run. A claim that never records (the run
   // threw) simply falls through to the argmin-or-first fallback below.
@@ -574,6 +583,7 @@ void BackendAutotuner::record(const TuneKey& key, std::string_view backend,
   Impl::Cell& cell = it->second;
   const std::string name(backend);
   cell.claimed.erase(name);
+  if (cell.winner.empty()) ++impl_->cache_stats.explore_records;
   auto [sit, inserted] = cell.samples.try_emplace(name, ns);
   if (!inserted) sit->second = std::min(sit->second, ns);
   Impl::maybe_decide(cell);
@@ -597,6 +607,37 @@ std::vector<BackendAutotuner::Decision> BackendAutotuner::decisions() const {
   return out;
 }
 
+std::size_t BackendAutotuner::install(std::span<const Decision> decisions) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->pin.empty()) return 0;  // a pin outranks any persisted winner
+  std::size_t installed = 0;
+  for (const Decision& d : decisions) {
+    if (d.winner.empty() || d.samples.empty()) continue;
+    Impl::Cell cell;
+    bool winner_sampled = false;
+    for (const Sample& s : d.samples) {
+      cell.candidates.push_back(s.backend);
+      cell.samples[s.backend] = s.ns;
+      winner_sampled |= s.backend == d.winner;
+    }
+    if (!winner_sampled) continue;
+    cell.winner = d.winner;
+    cell.from_cache = true;
+    // In-process state wins: a cell this process already started exploring
+    // (or decided) is not overwritten by the cache.
+    if (impl_->cells.try_emplace(d.key, std::move(cell)).second) {
+      ++installed;
+      ++impl_->cache_stats.loaded_cells;
+    }
+  }
+  return installed;
+}
+
+BackendAutotuner::CacheStats BackendAutotuner::cache_stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->cache_stats;
+}
+
 void BackendAutotuner::set_timing_override_for_test(
     std::function<std::uint64_t(const TuneKey&, const std::string&)> fn) {
   std::lock_guard<std::mutex> lock(impl_->mu);
@@ -606,6 +647,7 @@ void BackendAutotuner::set_timing_override_for_test(
 void BackendAutotuner::reset_for_test() {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->cells.clear();
+  impl_->cache_stats = CacheStats{};
   Impl::read_pin(impl_->pin);
 }
 

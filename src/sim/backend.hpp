@@ -122,7 +122,9 @@ class BackendRegistry {
                                                const BackendContext& ctx);
 
 /// One autotuner memoization cell: a layer's geometry + streamed
-/// precisions + batch + grid. Everything that changes which kernel wins.
+/// precisions + batch + grid + thread fan-out. Everything that changes
+/// which kernel wins (jobs matters: the kernels scale differently with
+/// stripe count, and a persisted winner must not leak across fan-outs).
 struct TuneKey {
   int kind = 0;  ///< 0 = conv, 1 = fc
   std::int64_t in_c = 0, in_h = 0, in_w = 0, out_c = 0;
@@ -131,7 +133,7 @@ struct TuneKey {
   bool act_signed = false;
   bool dynamic = false;
   int batch = 1;
-  int rows = 0, cols = 0, lanes = 0;
+  int rows = 0, cols = 0, lanes = 0, jobs = 0;
 
   friend bool operator==(const TuneKey&, const TuneKey&) = default;
   friend auto operator<=>(const TuneKey&, const TuneKey&) = default;
@@ -173,6 +175,26 @@ class BackendAutotuner {
   };
   /// Snapshot of every cell, deterministic (key-sorted) order.
   [[nodiscard]] std::vector<Decision> decisions() const;
+
+  /// Install decided cells parsed from a persistent cache
+  /// (sim/autotune_cache.hpp): each becomes a memoized winner, so choose()
+  /// answers immediately — no per-process re-measurement. Entries without a
+  /// winner, whose winner is not among their samples, or whose key already
+  /// has a cell are skipped; when LOOM_AUTOTUNE_PIN is set nothing installs
+  /// (the pin outranks any cache). Returns the number installed.
+  std::size_t install(std::span<const Decision> decisions);
+
+  /// Cross-process memoization counters. hits/misses are per choose() call:
+  /// a hit means a cache-installed winner answered; explore_records counts
+  /// record() calls that fed a still-undecided cell (zero on a process that
+  /// started from a warm cache). Process-wide, like the autotuner itself.
+  struct CacheStats {
+    std::uint64_t loaded_cells = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t explore_records = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
 
   /// Deterministic timing for tests: when set, choose() samples every
   /// candidate through `fn` immediately and decides the cell. Null resets

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "common/cpuid.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/im2col.hpp"
@@ -207,11 +208,6 @@ __attribute__((target("avx512f"))) void hs_sweep_avx512(
   _mm512_storeu_si512(counters32 + 24, eights);
 }
 
-bool have_avx512() noexcept {
-  static const bool ok = __builtin_cpu_supports("avx512f") != 0;
-  return ok;
-}
-
 #endif  // LOOM_BITSLICE_X86
 
 /// Reduce one (sign, t) arena into the sliced accumulator and reset it.
@@ -230,7 +226,7 @@ void reduce_arena(const Accum& ac, int s, int t) {
   std::int64_t done = 0;
   int lanes_used = 1;
 #if defined(LOOM_BITSLICE_X86)
-  if (have_avx512() && k >= 128) {
+  if (common::have_avx512() && k >= 128) {
     const std::int64_t k128 = k & ~std::int64_t{127};
     hs_sweep_avx512(ac, s, t, w, k128, counters32);
     done = k128;

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "nn/im2col.hpp"
+#include "sim/autotune_cache.hpp"
 #include "sim/bitslice_engine.hpp"
 #include "sim/functional.hpp"
 
@@ -77,6 +78,7 @@ FunctionalDpnnEngine::FunctionalDpnnEngine(DpnnFunctionalOptions opts)
   resolved_ = resolve_backend_name(opts_.backend, opts_.force_scalar, ctx_);
   if (resolved_ == "auto") {
     candidates_ = BackendRegistry::instance().tunable_names(ctx_);
+    init_autotune_cache_from_env();
   }
 }
 

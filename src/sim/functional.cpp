@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "sim/autotune_cache.hpp"
 #include "sim/loom_sim.hpp"
 
 namespace loom::sim {
@@ -76,6 +77,9 @@ FunctionalLoomEngine::FunctionalLoomEngine(FunctionalOptions opts)
   resolved_ = resolve_backend_name(opts_.backend, opts_.force_scalar, ctx_);
   if (resolved_ == "auto") {
     candidates_ = BackendRegistry::instance().tunable_names(ctx_);
+    // Warm the process autotuner from LOOM_AUTOTUNE_CACHE (no-op when unset
+    // or already initialized) so tuned cells skip per-process exploration.
+    init_autotune_cache_from_env();
   }
 }
 

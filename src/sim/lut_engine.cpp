@@ -1,11 +1,17 @@
 #include "sim/lut_engine.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cstring>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/im2col.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define LOOM_LUT_X86 1
+#endif
 
 namespace loom::sim {
 
@@ -73,12 +79,393 @@ inline std::int64_t group_lookup(const T* lut, const std::uint8_t* wb,
   return partial;
 }
 
+/// Scalar lookup walk over n tables — the tail/fallback the vector paths
+/// defer to (and the whole story below kAvx2).
+template <typename T>
+inline std::int64_t accumulate_scalar(const T* luts, const std::uint8_t* w,
+                                      const std::int32_t* bidx, std::int64_t n,
+                                      int pw) noexcept {
+  std::int64_t sum = 0;
+  for (std::int64_t t = 0; t < n; ++t) {
+    sum += group_lookup(luts + t * 256, w + bidx[t], pw);
+  }
+  return sum;
+}
+
+#if defined(LOOM_LUT_X86)
+
+// GCC 12 reports spurious "'__Y' may be used uninitialized" against the
+// shift/extract intrinsics below: their header definitions pass
+// _mm512_undefined_epi32() as a never-read pass-through operand (GCC
+// PR 105593). Scoped to the vector kernels only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+// ---------------------------------------------------------------------------
+// Vector table build. The doubling fill's stride-j inner loop is a pure
+// broadcast-add: lut[step+i] = lut[i] + a[j] for i < step — so once step
+// reaches the vector width the fill runs width entries per op. Wrapping
+// int16 adds (_mm256_add_epi16) match the scalar static_cast<T> truncation
+// exactly; in practice narrow tables never wrap (sum_abs <= 32767 by
+// construction).
+
+// The table head is built entirely in a register: entry m is the subset sum
+// of the a[j] whose bit is set in m, so lane m accumulates a[j] exactly when
+// bit j of its index is set — one masked broadcast-add per j, no scalar
+// stores. This matters more than the wide fill itself: a scalar head of
+// 2-byte stores re-read by the first wide load defeats store-to-load
+// forwarding and stalls every table build. Once the head is stored at
+// vector width, the remaining doubling loads hit same-width same-offset
+// stores and forward cleanly.
+
+__attribute__((target("avx2"))) void build_table_i16_avx2(
+    const std::int32_t* a, std::int16_t* lut) noexcept {
+  // Index-bit masks for lanes 0..15 (setr: lane 0 first).
+  const __m256i m0 = _mm256_setr_epi16(0, -1, 0, -1, 0, -1, 0, -1,
+                                       0, -1, 0, -1, 0, -1, 0, -1);
+  const __m256i m1 = _mm256_setr_epi16(0, 0, -1, -1, 0, 0, -1, -1,
+                                       0, 0, -1, -1, 0, 0, -1, -1);
+  const __m256i m2 = _mm256_setr_epi16(0, 0, 0, 0, -1, -1, -1, -1,
+                                       0, 0, 0, 0, -1, -1, -1, -1);
+  const __m256i m3 = _mm256_setr_epi16(0, 0, 0, 0, 0, 0, 0, 0,
+                                       -1, -1, -1, -1, -1, -1, -1, -1);
+  __m256i v = _mm256_and_si256(_mm256_set1_epi16(static_cast<short>(a[0])), m0);
+  v = _mm256_add_epi16(
+      v, _mm256_and_si256(_mm256_set1_epi16(static_cast<short>(a[1])), m1));
+  v = _mm256_add_epi16(
+      v, _mm256_and_si256(_mm256_set1_epi16(static_cast<short>(a[2])), m2));
+  v = _mm256_add_epi16(
+      v, _mm256_and_si256(_mm256_set1_epi16(static_cast<short>(a[3])), m3));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lut), v);
+  for (int j = 4; j < 8; ++j) {
+    const int step = 1 << j;
+    const __m256i aj = _mm256_set1_epi16(static_cast<short>(a[j]));
+    for (int i = 0; i < step; i += 16) {
+      const __m256i w =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lut + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lut + step + i),
+                          _mm256_add_epi16(w, aj));
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void build_table_i16_avx512(
+    const std::int32_t* a, std::int16_t* lut) noexcept {
+  // Entries 0..31 in one zmm: lane m gains a[j] iff bit j of m is set
+  // (maskz_set1 = broadcast-where-bit-set, zero elsewhere).
+  __m512i v =
+      _mm512_maskz_set1_epi16(0xAAAAAAAAu, static_cast<short>(a[0]));
+  v = _mm512_add_epi16(
+      v, _mm512_maskz_set1_epi16(0xCCCCCCCCu, static_cast<short>(a[1])));
+  v = _mm512_add_epi16(
+      v, _mm512_maskz_set1_epi16(0xF0F0F0F0u, static_cast<short>(a[2])));
+  v = _mm512_add_epi16(
+      v, _mm512_maskz_set1_epi16(0xFF00FF00u, static_cast<short>(a[3])));
+  v = _mm512_add_epi16(
+      v, _mm512_maskz_set1_epi16(0xFFFF0000u, static_cast<short>(a[4])));
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut), v);
+  // Doubling fill register-resident: entries [2^j, 2^(j+1)) = low half +
+  // a[j], so every step is adds on live zmms — no loads at all.
+  const __m512i a5 = _mm512_set1_epi16(static_cast<short>(a[5]));
+  const __m512i a6 = _mm512_set1_epi16(static_cast<short>(a[6]));
+  const __m512i a7 = _mm512_set1_epi16(static_cast<short>(a[7]));
+  const __m512i v32 = _mm512_add_epi16(v, a5);
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut + 32), v32);
+  const __m512i v64a = _mm512_add_epi16(v, a6);
+  const __m512i v64b = _mm512_add_epi16(v32, a6);
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut + 64), v64a);
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut + 96), v64b);
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut + 128),
+                      _mm512_add_epi16(v, a7));
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut + 160),
+                      _mm512_add_epi16(v32, a7));
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut + 192),
+                      _mm512_add_epi16(v64a, a7));
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut + 224),
+                      _mm512_add_epi16(v64b, a7));
+}
+
+__attribute__((target("avx2"))) void build_table_i32_avx2(
+    const std::int32_t* a, std::int32_t* lut) noexcept {
+  // Entries 0..7 in one ymm (lane m = subset sum over a[0..2]); see the
+  // i16 variant for why the head must not round-trip through memory.
+  const __m256i m0 = _mm256_setr_epi32(0, -1, 0, -1, 0, -1, 0, -1);
+  const __m256i m1 = _mm256_setr_epi32(0, 0, -1, -1, 0, 0, -1, -1);
+  const __m256i m2 = _mm256_setr_epi32(0, 0, 0, 0, -1, -1, -1, -1);
+  __m256i v = _mm256_and_si256(_mm256_set1_epi32(a[0]), m0);
+  v = _mm256_add_epi32(v, _mm256_and_si256(_mm256_set1_epi32(a[1]), m1));
+  v = _mm256_add_epi32(v, _mm256_and_si256(_mm256_set1_epi32(a[2]), m2));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lut), v);
+  for (int j = 3; j < 8; ++j) {
+    const int step = 1 << j;
+    const __m256i aj = _mm256_set1_epi32(a[j]);
+    for (int i = 0; i < step; i += 8) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lut + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lut + step + i),
+                          _mm256_add_epi32(v, aj));
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void build_table_i32_avx512(
+    const std::int32_t* a, std::int32_t* lut) noexcept {
+  // Entries 0..15 in one zmm: lane m gains a[j] iff bit j of m is set
+  // (maskz_set1 = broadcast-where-bit-set, zero elsewhere).
+  __m512i v = _mm512_maskz_set1_epi32(0xAAAAu, a[0]);
+  v = _mm512_add_epi32(v, _mm512_maskz_set1_epi32(0xCCCCu, a[1]));
+  v = _mm512_add_epi32(v, _mm512_maskz_set1_epi32(0xF0F0u, a[2]));
+  v = _mm512_add_epi32(v, _mm512_maskz_set1_epi32(0xFF00u, a[3]));
+  _mm512_storeu_si512(reinterpret_cast<void*>(lut), v);
+  for (int j = 4; j < 8; ++j) {
+    const int step = 1 << j;
+    const __m512i aj = _mm512_set1_epi32(a[j]);
+    for (int i = 0; i < step; i += 16) {
+      const __m512i v =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(lut + i));
+      _mm512_storeu_si512(reinterpret_cast<void*>(lut + step + i),
+                          _mm512_add_epi32(v, aj));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vector lookup+accumulate. 8 (AVX2) / 16 (AVX-512) groups advance in
+// lockstep for one output feature: per weight bit b, a dword gather pulls
+// each group's slice byte (low byte of an unaligned dword at wbytes +
+// bidx[t] + b), a second gather pulls the table entries at t*256 + slice,
+// and the shifted terms accumulate — int32 per-lane for int16 tables
+// (|partial| <= 32767 * (2^16 - 1) < 2^31, exact), widened to int64 per
+// bit for int32 tables (terms reach 2^18 << 15 = 2^33). The MSB slice's
+// term is subtracted, matching the signed decomposition; integer exactness
+// makes the reassociation byte-identical to the scalar walk. Tails (< one
+// vector) and indices that would overflow the 32-bit gather index space
+// fall back to the scalar walk.
+
+/// Group tables live at t*256 entries; the gather index must stay in
+/// int32. n <= kMaxGatherGroups keeps (n-1)*256 + 255 exact.
+constexpr std::int64_t kMaxGatherGroups = (INT_MAX / 256) - 1;
+
+__attribute__((target("avx2"))) std::int64_t accumulate_i16_avx2(
+    const std::int16_t* luts, const std::uint8_t* w, const std::int32_t* bidx,
+    std::int64_t n, int pw) noexcept {
+  const int msb = pw - 1;
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  const __m256i lane_tables =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  __m256i acc_lo = _mm256_setzero_si256();
+  __m256i acc_hi = _mm256_setzero_si256();
+  std::int64_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    const __m256i off =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bidx + t));
+    const __m256i tbase = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(t * 256)), lane_tables);
+    __m256i part = _mm256_setzero_si256();
+    for (int b = 0; b < pw; ++b) {
+      const __m256i waddr = _mm256_add_epi32(off, _mm256_set1_epi32(b));
+      const __m256i wraw = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(w), waddr, 1);
+      const __m256i slice = _mm256_and_si256(wraw, byte_mask);
+      const __m256i idx = _mm256_add_epi32(tbase, slice);
+      const __m256i raw = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(luts), idx, 2);
+      const __m256i val = _mm256_srai_epi32(_mm256_slli_epi32(raw, 16), 16);
+      const __m256i sh = _mm256_sll_epi32(val, _mm_cvtsi32_si128(b));
+      part = b == msb ? _mm256_sub_epi32(part, sh) : _mm256_add_epi32(part, sh);
+    }
+    acc_lo = _mm256_add_epi64(
+        acc_lo, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(part)));
+    acc_hi = _mm256_add_epi64(
+        acc_hi, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(part, 1)));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                     _mm256_add_epi64(acc_lo, acc_hi));
+  std::int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; t < n; ++t) {
+    sum += group_lookup(luts + t * 256, w + bidx[t], pw);
+  }
+  return sum;
+}
+
+__attribute__((target("avx512f,avx512bw"))) std::int64_t accumulate_i16_avx512(
+    const std::int16_t* luts, const std::uint8_t* w, const std::int32_t* bidx,
+    std::int64_t n, int pw) noexcept {
+  const int msb = pw - 1;
+  const __m512i byte_mask = _mm512_set1_epi32(0xFF);
+  const __m512i lane_tables =
+      _mm512_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2304,
+                        2560, 2816, 3072, 3328, 3584, 3840);
+  __m512i acc_lo = _mm512_setzero_si512();
+  __m512i acc_hi = _mm512_setzero_si512();
+  std::int64_t t = 0;
+  for (; t + 16 <= n; t += 16) {
+    const __m512i off =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(bidx + t));
+    const __m512i tbase = _mm512_add_epi32(
+        _mm512_set1_epi32(static_cast<int>(t * 256)), lane_tables);
+    __m512i part = _mm512_setzero_si512();
+    for (int b = 0; b < pw; ++b) {
+      const __m512i waddr = _mm512_add_epi32(off, _mm512_set1_epi32(b));
+      const __m512i wraw = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), 0xFFFF, waddr, w, 1);
+      const __m512i slice = _mm512_and_si512(wraw, byte_mask);
+      const __m512i idx = _mm512_add_epi32(tbase, slice);
+      const __m512i raw = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), 0xFFFF, idx, luts, 2);
+      const __m512i val = _mm512_srai_epi32(_mm512_slli_epi32(raw, 16), 16);
+      const __m512i sh = _mm512_sll_epi32(val, _mm_cvtsi32_si128(b));
+      part = b == msb ? _mm512_sub_epi32(part, sh) : _mm512_add_epi32(part, sh);
+    }
+    acc_lo = _mm512_add_epi64(
+        acc_lo, _mm512_cvtepi32_epi64(_mm512_castsi512_si256(part)));
+    acc_hi = _mm512_add_epi64(
+        acc_hi, _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(part, 1)));
+  }
+  std::int64_t sum =
+      _mm512_reduce_add_epi64(_mm512_add_epi64(acc_lo, acc_hi));
+  for (; t < n; ++t) {
+    sum += group_lookup(luts + t * 256, w + bidx[t], pw);
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) std::int64_t accumulate_i32_avx2(
+    const std::int32_t* luts, const std::uint8_t* w, const std::int32_t* bidx,
+    std::int64_t n, int pw) noexcept {
+  const int msb = pw - 1;
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  const __m256i lane_tables =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  __m256i acc_lo = _mm256_setzero_si256();
+  __m256i acc_hi = _mm256_setzero_si256();
+  std::int64_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    const __m256i off =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bidx + t));
+    const __m256i tbase = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(t * 256)), lane_tables);
+    for (int b = 0; b < pw; ++b) {
+      const __m256i waddr = _mm256_add_epi32(off, _mm256_set1_epi32(b));
+      const __m256i wraw = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(w), waddr, 1);
+      const __m256i slice = _mm256_and_si256(wraw, byte_mask);
+      const __m256i idx = _mm256_add_epi32(tbase, slice);
+      const __m256i val = _mm256_i32gather_epi32(luts, idx, 4);
+      const __m128i cnt = _mm_cvtsi32_si128(b);
+      const __m256i lo = _mm256_sll_epi64(
+          _mm256_cvtepi32_epi64(_mm256_castsi256_si128(val)), cnt);
+      const __m256i hi = _mm256_sll_epi64(
+          _mm256_cvtepi32_epi64(_mm256_extracti128_si256(val, 1)), cnt);
+      if (b == msb) {
+        acc_lo = _mm256_sub_epi64(acc_lo, lo);
+        acc_hi = _mm256_sub_epi64(acc_hi, hi);
+      } else {
+        acc_lo = _mm256_add_epi64(acc_lo, lo);
+        acc_hi = _mm256_add_epi64(acc_hi, hi);
+      }
+    }
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                     _mm256_add_epi64(acc_lo, acc_hi));
+  std::int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; t < n; ++t) {
+    sum += group_lookup(luts + t * 256, w + bidx[t], pw);
+  }
+  return sum;
+}
+
+__attribute__((target("avx512f"))) std::int64_t accumulate_i32_avx512(
+    const std::int32_t* luts, const std::uint8_t* w, const std::int32_t* bidx,
+    std::int64_t n, int pw) noexcept {
+  const int msb = pw - 1;
+  const __m512i byte_mask = _mm512_set1_epi32(0xFF);
+  const __m512i lane_tables =
+      _mm512_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2304,
+                        2560, 2816, 3072, 3328, 3584, 3840);
+  __m512i acc_lo = _mm512_setzero_si512();
+  __m512i acc_hi = _mm512_setzero_si512();
+  std::int64_t t = 0;
+  for (; t + 16 <= n; t += 16) {
+    const __m512i off =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(bidx + t));
+    const __m512i tbase = _mm512_add_epi32(
+        _mm512_set1_epi32(static_cast<int>(t * 256)), lane_tables);
+    for (int b = 0; b < pw; ++b) {
+      const __m512i waddr = _mm512_add_epi32(off, _mm512_set1_epi32(b));
+      const __m512i wraw = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), 0xFFFF, waddr, w, 1);
+      const __m512i slice = _mm512_and_si512(wraw, byte_mask);
+      const __m512i idx = _mm512_add_epi32(tbase, slice);
+      const __m512i val = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), 0xFFFF, idx, luts, 4);
+      const __m128i cnt = _mm_cvtsi32_si128(b);
+      const __m512i lo = _mm512_sll_epi64(
+          _mm512_cvtepi32_epi64(_mm512_castsi512_si256(val)), cnt);
+      const __m512i hi = _mm512_sll_epi64(
+          _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(val, 1)), cnt);
+      if (b == msb) {
+        acc_lo = _mm512_sub_epi64(acc_lo, lo);
+        acc_hi = _mm512_sub_epi64(acc_hi, hi);
+      } else {
+        acc_lo = _mm512_add_epi64(acc_lo, lo);
+        acc_hi = _mm512_add_epi64(acc_hi, hi);
+      }
+    }
+  }
+  std::int64_t sum =
+      _mm512_reduce_add_epi64(_mm512_add_epi64(acc_lo, acc_hi));
+  for (; t < n; ++t) {
+    sum += group_lookup(luts + t * 256, w + bidx[t], pw);
+  }
+  return sum;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // LOOM_LUT_X86
+
+/// Overload shims so the templated window walk below can call the
+/// width-matching dispatch kernel.
+inline std::int64_t accumulate_groups(common::SimdLevel level,
+                                      const std::int16_t* luts,
+                                      const std::uint8_t* w,
+                                      const std::int32_t* bidx, std::int64_t n,
+                                      int pw) noexcept {
+  return lut_kernels::accumulate_i16(level, luts, w, bidx, n, pw);
+}
+inline std::int64_t accumulate_groups(common::SimdLevel level,
+                                      const std::int32_t* luts,
+                                      const std::uint8_t* w,
+                                      const std::int32_t* bidx, std::int64_t n,
+                                      int pw) noexcept {
+  return lut_kernels::accumulate_i32(level, luts, w, bidx, n, pw);
+}
+inline void build_table_dispatch(common::SimdLevel level, const std::int32_t* a,
+                                 std::int16_t* lut) noexcept {
+  lut_kernels::build_table_i16(level, a, lut);
+}
+inline void build_table_dispatch(common::SimdLevel level, const std::int32_t* a,
+                                 std::int32_t* lut) noexcept {
+  lut_kernels::build_table_i32(level, a, lut);
+}
+
 /// Accumulate every output feature of one window against the live groups'
 /// tables, `tile` tables at a time (0 = all at once). Tables build once per
-/// tile and serve all `cog` outputs — the T-MAC amortization.
+/// tile and serve all `cog` outputs — the T-MAC amortization. `bidx` holds
+/// each live group's byte offset into a packed weight row (live[t] * pw),
+/// precomputed so the vector walk can gather straight from it.
 template <typename T>
-void accumulate_window(const std::int32_t* acts,
-                       std::span<const std::int32_t> live, std::vector<T>& luts,
+void accumulate_window(common::SimdLevel level, const std::int32_t* acts,
+                       std::span<const std::int32_t> live,
+                       const std::int32_t* bidx, std::vector<T>& luts,
                        const std::uint8_t* wrow0, std::int64_t row_stride,
                        std::int64_t cog, int pw, std::int64_t tile,
                        std::int64_t* acc) {
@@ -86,32 +473,99 @@ void accumulate_window(const std::int32_t* acts,
   const std::int64_t step = tile == 0 ? std::max<std::int64_t>(n_live, 1) : tile;
   luts.resize(static_cast<std::size_t>(std::min(step, std::max<std::int64_t>(
                                                           n_live, 1))) *
-              256);
+                  256 +
+              lut_kernels::kLutPadEntries);
   for (std::int64_t t0 = 0; t0 < n_live; t0 += step) {
     const std::int64_t t1 = std::min(t0 + step, n_live);
     for (std::int64_t ti = t0; ti < t1; ++ti) {
-      build_table(acts + static_cast<std::int64_t>(live[static_cast<std::size_t>(
-                             ti)]) *
-                             8,
-                  luts.data() + (ti - t0) * 256);
+      build_table_dispatch(
+          level,
+          acts + static_cast<std::int64_t>(live[static_cast<std::size_t>(ti)]) *
+                     8,
+          luts.data() + (ti - t0) * 256);
     }
     for (std::int64_t co = 0; co < cog; ++co) {
-      const std::uint8_t* wrow = wrow0 + co * row_stride;
-      std::int64_t s = acc[co];
-      for (std::int64_t ti = t0; ti < t1; ++ti) {
-        const std::uint8_t* wb =
-            wrow + static_cast<std::int64_t>(live[static_cast<std::size_t>(ti)]) *
-                       pw;
-        s += group_lookup(luts.data() + (ti - t0) * 256, wb, pw);
-      }
-      acc[co] = s;
+      acc[co] += accumulate_groups(level, luts.data(), wrow0 + co * row_stride,
+                                   bidx + t0, t1 - t0, pw);
     }
   }
 }
 
 }  // namespace
 
-LutEngine::LutEngine(Options opts) : opts_(opts) {
+namespace lut_kernels {
+
+void build_table_i16(common::SimdLevel level, const std::int32_t* a,
+                     std::int16_t* lut) noexcept {
+#if defined(LOOM_LUT_X86)
+  const common::SimdLevel hw = common::hardware_simd_level();
+  if (hw < level) level = hw;
+  if (level >= common::SimdLevel::kAvx512) return build_table_i16_avx512(a, lut);
+  if (level >= common::SimdLevel::kAvx2) return build_table_i16_avx2(a, lut);
+#else
+  (void)level;
+#endif
+  build_table(a, lut);
+}
+
+void build_table_i32(common::SimdLevel level, const std::int32_t* a,
+                     std::int32_t* lut) noexcept {
+#if defined(LOOM_LUT_X86)
+  const common::SimdLevel hw = common::hardware_simd_level();
+  if (hw < level) level = hw;
+  if (level >= common::SimdLevel::kAvx512) return build_table_i32_avx512(a, lut);
+  if (level >= common::SimdLevel::kAvx2) return build_table_i32_avx2(a, lut);
+#else
+  (void)level;
+#endif
+  build_table(a, lut);
+}
+
+std::int64_t accumulate_i16(common::SimdLevel level, const std::int16_t* luts,
+                            const std::uint8_t* wbytes,
+                            const std::int32_t* bidx, std::int64_t n,
+                            int pw) noexcept {
+#if defined(LOOM_LUT_X86)
+  const common::SimdLevel hw = common::hardware_simd_level();
+  if (hw < level) level = hw;
+  if (n <= kMaxGatherGroups) {
+    if (level >= common::SimdLevel::kAvx512) {
+      return accumulate_i16_avx512(luts, wbytes, bidx, n, pw);
+    }
+    if (level >= common::SimdLevel::kAvx2) {
+      return accumulate_i16_avx2(luts, wbytes, bidx, n, pw);
+    }
+  }
+#else
+  (void)level;
+#endif
+  return accumulate_scalar(luts, wbytes, bidx, n, pw);
+}
+
+std::int64_t accumulate_i32(common::SimdLevel level, const std::int32_t* luts,
+                            const std::uint8_t* wbytes,
+                            const std::int32_t* bidx, std::int64_t n,
+                            int pw) noexcept {
+#if defined(LOOM_LUT_X86)
+  const common::SimdLevel hw = common::hardware_simd_level();
+  if (hw < level) level = hw;
+  if (n <= kMaxGatherGroups) {
+    if (level >= common::SimdLevel::kAvx512) {
+      return accumulate_i32_avx512(luts, wbytes, bidx, n, pw);
+    }
+    if (level >= common::SimdLevel::kAvx2) {
+      return accumulate_i32_avx2(luts, wbytes, bidx, n, pw);
+    }
+  }
+#else
+  (void)level;
+#endif
+  return accumulate_scalar(luts, wbytes, bidx, n, pw);
+}
+
+}  // namespace lut_kernels
+
+LutEngine::LutEngine(Options opts) : opts_(opts), simd_(common::simd_level()) {
   LOOM_EXPECTS(supports(opts));
   slab_windows_ = (64 / opts_.cols) * opts_.cols;
 }
@@ -243,19 +697,23 @@ void LutEngine::conv_slab(const nn::Layer& layer,
         if (sum_abs > kNarrowLimit) narrow = false;
       }
     }
+    scratch.bidx.resize(scratch.live.size());
+    for (std::size_t i = 0; i < scratch.live.size(); ++i) {
+      scratch.bidx[i] = scratch.live[i] * pw;
+    }
 
     std::fill(scratch.acc.begin(), scratch.acc.end(), std::int64_t{0});
     const std::uint8_t* wrow0 =
         wpack.data() + static_cast<std::size_t>(g * cog) *
                            static_cast<std::size_t>(row_stride);
     if (narrow) {
-      accumulate_window(scratch.acts.data(), scratch.live, scratch.lut16,
-                        wrow0, row_stride, cog, pw, opts_.group_tile,
-                        scratch.acc.data());
+      accumulate_window(simd_, scratch.acts.data(), scratch.live,
+                        scratch.bidx.data(), scratch.lut16, wrow0, row_stride,
+                        cog, pw, opts_.group_tile, scratch.acc.data());
     } else {
-      accumulate_window(scratch.acts.data(), scratch.live, scratch.lut32,
-                        wrow0, row_stride, cog, pw, opts_.group_tile,
-                        scratch.acc.data());
+      accumulate_window(simd_, scratch.acts.data(), scratch.live,
+                        scratch.bidx.data(), scratch.lut32, wrow0, row_stride,
+                        cog, pw, opts_.group_tile, scratch.acc.data());
     }
 
     nn::WideTensor& wide = *wides[static_cast<std::size_t>(gw / windows)];
@@ -287,8 +745,9 @@ LutEngine::ConvStats LutEngine::run_conv_batch(
   const auto w_mask =
       static_cast<std::uint32_t>((std::uint32_t{1} << pw) - 1);
   std::vector<std::uint8_t> wpack(static_cast<std::size_t>(layer.out.c) *
-                                  static_cast<std::size_t>(g8_count) *
-                                  static_cast<std::size_t>(pw));
+                                      static_cast<std::size_t>(g8_count) *
+                                      static_cast<std::size_t>(pw) +
+                                  lut_kernels::kWeightPadBytes);
   for (std::int64_t co = 0; co < layer.out.c; ++co) {
     for (std::int64_t g8 = 0; g8 < g8_count; ++g8) {
       const std::int64_t base = co * inner + g8 * 8;
@@ -381,23 +840,31 @@ void LutEngine::run_fc(const nn::Layer& layer, const nn::Tensor& input,
   std::vector<std::int32_t> luts32;
   const auto n_live = static_cast<std::int64_t>(live.size());
   if (narrow) {
-    luts16.resize(static_cast<std::size_t>(n_live) * 256);
+    luts16.resize(static_cast<std::size_t>(n_live) * 256 +
+                  lut_kernels::kLutPadEntries);
     for (std::int64_t ti = 0; ti < n_live; ++ti) {
-      build_table(acts.data() +
-                      static_cast<std::int64_t>(live[static_cast<std::size_t>(
-                          ti)]) *
-                          8,
-                  luts16.data() + ti * 256);
+      lut_kernels::build_table_i16(
+          simd_,
+          acts.data() +
+              static_cast<std::int64_t>(live[static_cast<std::size_t>(ti)]) * 8,
+          luts16.data() + ti * 256);
     }
   } else {
-    luts32.resize(static_cast<std::size_t>(n_live) * 256);
+    luts32.resize(static_cast<std::size_t>(n_live) * 256 +
+                  lut_kernels::kLutPadEntries);
     for (std::int64_t ti = 0; ti < n_live; ++ti) {
-      build_table(acts.data() +
-                      static_cast<std::int64_t>(live[static_cast<std::size_t>(
-                          ti)]) *
-                          8,
-                  luts32.data() + ti * 256);
+      lut_kernels::build_table_i32(
+          simd_,
+          acts.data() +
+              static_cast<std::int64_t>(live[static_cast<std::size_t>(ti)]) * 8,
+          luts32.data() + ti * 256);
     }
+  }
+  // Per-neuron packed rows hold only the live groups, so the lookup walk's
+  // byte offsets are simply ti * pw — shared across all neurons.
+  std::vector<std::int32_t> bidx(static_cast<std::size_t>(n_live));
+  for (std::int64_t ti = 0; ti < n_live; ++ti) {
+    bidx[static_cast<std::size_t>(ti)] = static_cast<std::int32_t>(ti * pw);
   }
 
   // Output neurons are independent: stripe over the pool. Weight slices
@@ -412,7 +879,8 @@ void LutEngine::run_fc(const nn::Layer& layer, const nn::Tensor& input,
     const auto hi = static_cast<std::int64_t>(
         (static_cast<std::size_t>(layer.out.c) * (s + 1)) / stripes);
     row.resize(static_cast<std::size_t>(std::max<std::int64_t>(n_live, 1)) *
-               static_cast<std::size_t>(pw));
+                   static_cast<std::size_t>(pw) +
+               lut_kernels::kWeightPadBytes);
     for (std::int64_t co = lo; co < hi; ++co) {
       const std::int64_t wrow = co * ci;
       for (std::int64_t ti = 0; ti < n_live; ++ti) {
@@ -421,18 +889,11 @@ void LutEngine::run_fc(const nn::Layer& layer, const nn::Tensor& input,
                           std::min<std::int64_t>(8, ci - g8 * 8), w_mask,
                           row.data() + ti * pw, pw);
       }
-      std::int64_t sum = 0;
-      if (narrow) {
-        for (std::int64_t ti = 0; ti < n_live; ++ti) {
-          sum += group_lookup(luts16.data() + ti * 256, row.data() + ti * pw,
-                              pw);
-        }
-      } else {
-        for (std::int64_t ti = 0; ti < n_live; ++ti) {
-          sum += group_lookup(luts32.data() + ti * 256, row.data() + ti * pw,
-                              pw);
-        }
-      }
+      const std::int64_t sum =
+          narrow ? lut_kernels::accumulate_i16(simd_, luts16.data(), row.data(),
+                                               bidx.data(), n_live, pw)
+                 : lut_kernels::accumulate_i32(simd_, luts32.data(), row.data(),
+                                               bidx.data(), n_live, pw);
       wide.set_flat(co, sum);
     }
   };

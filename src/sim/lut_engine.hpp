@@ -37,11 +37,53 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "common/cpuid.hpp"
 #include "nn/layer.hpp"
 #include "nn/tensor.hpp"
 #include "sim/bitslice_engine.hpp"
 
 namespace loom::sim {
+
+/// The engine's two hot loops as standalone kernels with an explicit SIMD
+/// tier, runtime-dispatched (scalar / AVX2 / AVX-512) behind the shared
+/// common/cpuid probe. Exposed so benches and tests can pit tiers against
+/// each other directly; the engine itself calls them at common::simd_level().
+/// Every tier computes bit-exact identical results — the vector paths are
+/// pure integer reassociations of the scalar fill/walk, so the registry-wide
+/// byte-identity contract holds under any forced tier.
+namespace lut_kernels {
+
+/// Padding contract for the vector paths: dword gathers may *read* (never
+/// write) a few bytes past the logical end of a buffer. Table buffers need
+/// kLutPadEntries extra entries beyond the last 256-entry table; packed
+/// weight-slice buffers need kWeightPadBytes extra bytes.
+inline constexpr std::size_t kLutPadEntries = 2;
+inline constexpr std::size_t kWeightPadBytes = 4;
+
+/// Doubling fill of one 256-entry partial-sum table from the group's 8
+/// activation values: lut[m | 1<<j] = lut[m] + a[j]. The requested tier is
+/// clamped to what the hardware supports.
+void build_table_i16(common::SimdLevel level, const std::int32_t* a,
+                     std::int16_t* lut) noexcept;
+void build_table_i32(common::SimdLevel level, const std::int32_t* a,
+                     std::int32_t* lut) noexcept;
+
+/// Lookup+accumulate walk over `n` group tables for one output feature:
+/// returns sum over t < n of the signed slice decomposition
+///   sum_{b<pw-1} lut_t[wb_t[b]] << b  -  lut_t[wb_t[pw-1]] << (pw-1)
+/// where lut_t = luts + t*256 and wb_t = wbytes + bidx[t] (bidx holds byte
+/// offsets of each group's pw slice bytes — absolute, so callers can walk a
+/// live-group subset of a larger packed row without copying).
+std::int64_t accumulate_i16(common::SimdLevel level, const std::int16_t* luts,
+                            const std::uint8_t* wbytes,
+                            const std::int32_t* bidx, std::int64_t n,
+                            int pw) noexcept;
+std::int64_t accumulate_i32(common::SimdLevel level, const std::int32_t* luts,
+                            const std::uint8_t* wbytes,
+                            const std::int32_t* bidx, std::int64_t n,
+                            int pw) noexcept;
+
+}  // namespace lut_kernels
 
 class LutEngine {
  public:
@@ -98,6 +140,7 @@ class LutEngine {
   struct Scratch {
     std::vector<std::int32_t> acts;      ///< gathered group values
     std::vector<std::int32_t> live;      ///< live 8-act group indices
+    std::vector<std::int32_t> bidx;      ///< live groups' slice byte offsets
     std::vector<std::int32_t> lut32;     ///< tables, wide entries
     std::vector<std::int16_t> lut16;     ///< tables, narrow entries
     std::vector<std::int64_t> acc;       ///< per-output accumulators
@@ -114,6 +157,7 @@ class LutEngine {
 
   Options opts_;
   std::int64_t slab_windows_;  ///< windows per slab (multiple of cols)
+  common::SimdLevel simd_;     ///< effective dispatch tier, probed once
 };
 
 }  // namespace loom::sim

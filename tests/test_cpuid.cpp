@@ -1,0 +1,51 @@
+// CPU feature detection and SIMD tier override parsing (common/cpuid).
+// simd_cap_from_env is pure — the env-var strings come in as arguments — so
+// the parsing table is testable without mutating the process environment
+// (simd_level() itself is cached at first use and deliberately not poked).
+#include <gtest/gtest.h>
+
+#include "common/cpuid.hpp"
+#include "common/error.hpp"
+
+namespace loom::common {
+namespace {
+
+TEST(Cpuid, LevelNamesAreStable) {
+  // Persisted in autotune cache keys — renaming invalidates caches.
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx512), "avx512");
+}
+
+TEST(Cpuid, UnsetEnvLeavesHardwareUncapped) {
+  EXPECT_EQ(simd_cap_from_env(nullptr, nullptr), SimdLevel::kAvx512);
+  EXPECT_EQ(simd_cap_from_env("", ""), SimdLevel::kAvx512);
+  EXPECT_EQ(simd_cap_from_env("0", nullptr), SimdLevel::kAvx512);
+}
+
+TEST(Cpuid, ForceScalarWinsOverLevel) {
+  EXPECT_EQ(simd_cap_from_env("1", nullptr), SimdLevel::kScalar);
+  EXPECT_EQ(simd_cap_from_env("1", "avx512"), SimdLevel::kScalar);
+  EXPECT_EQ(simd_cap_from_env("yes", "native"), SimdLevel::kScalar);
+}
+
+TEST(Cpuid, LevelStringsParse) {
+  EXPECT_EQ(simd_cap_from_env(nullptr, "scalar"), SimdLevel::kScalar);
+  EXPECT_EQ(simd_cap_from_env(nullptr, "avx2"), SimdLevel::kAvx2);
+  EXPECT_EQ(simd_cap_from_env(nullptr, "avx512"), SimdLevel::kAvx512);
+  EXPECT_EQ(simd_cap_from_env(nullptr, "native"), SimdLevel::kAvx512);
+}
+
+TEST(Cpuid, JunkLevelIsTypedError) {
+  EXPECT_THROW((void)simd_cap_from_env(nullptr, "sse9"), ConfigError);
+  EXPECT_THROW((void)simd_cap_from_env(nullptr, "AVX2"), ConfigError);
+}
+
+TEST(Cpuid, EffectiveLevelNeverExceedsHardware) {
+  EXPECT_LE(simd_level(), hardware_simd_level());
+  EXPECT_EQ(have_avx2(), simd_level() >= SimdLevel::kAvx2);
+  EXPECT_EQ(have_avx512(), simd_level() >= SimdLevel::kAvx512);
+}
+
+}  // namespace
+}  // namespace loom::common
